@@ -1,0 +1,324 @@
+// Package crat's top-level benchmarks regenerate each table and figure of
+// the paper's evaluation (one bench per experiment, see DESIGN.md's
+// per-experiment index). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each iteration performs the full experiment (simulations included), so
+// b.N is typically 1; the reported ns/op is the cost of regenerating that
+// figure. Custom metrics attach the headline numbers (geomean speedups,
+// savings) so the benchmark log doubles as a results record.
+package crat_test
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	"crat/internal/core"
+	"crat/internal/gpusim"
+	"crat/internal/harness"
+	"crat/internal/workloads"
+)
+
+// Benchmarks share one session per architecture so that profiling runs and
+// mode evaluations are paid once and each benchmark measures its own
+// figure's incremental cost (mirroring how cmd/experiments runs the suite).
+var sessions = map[string]*harness.Session{}
+
+func sessionFor(b *testing.B, arch gpusim.Config) *harness.Session {
+	b.Helper()
+	if s, ok := sessions[arch.Name]; ok {
+		return s
+	}
+	s, err := harness.NewSession(arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sessions[arch.Name] = s
+	return s
+}
+
+// geomeanRow extracts the named column of a table's GEOMEAN/AVERAGE row.
+func lastRowMetric(b *testing.B, t *harness.Table, col string) float64 {
+	b.Helper()
+	idx := -1
+	for i, c := range t.Columns {
+		if c == col {
+			idx = i
+		}
+	}
+	if idx < 0 || len(t.Rows) == 0 {
+		b.Fatalf("column %q not found in %s", col, t.ID)
+	}
+	last := t.Rows[len(t.Rows)-1]
+	v, err := strconv.ParseFloat(last[idx], 64)
+	if err != nil {
+		b.Fatalf("metric %s/%s: %v", t.ID, col, err)
+	}
+	return v
+}
+
+func BenchmarkTable1Params(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig01Throttling(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		t, err := s.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, t, "perf OptTLP"), "geomean-OptTLP-speedup")
+	}
+}
+
+func BenchmarkFig02DesignSpace(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig03SelectedPoints(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig05CacheImpact(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06RegImpact(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig07Utilization(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig08SpillChoice(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12SpillValidation(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure12(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Headline(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		t, err := s.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, t, "CRAT"), "geomean-CRAT-speedup")
+		b.ReportMetric(lastRowMetric(b, t, "CRAT-local"), "geomean-CRATlocal-speedup")
+	}
+}
+
+func BenchmarkFig14SelectedTLP(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		t, err := s.Figure14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, t, "CRAT blocks"), "avg-CRAT-TLP")
+	}
+}
+
+func BenchmarkFig15RegUtilization(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		t, err := s.Figure15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, t, "CRAT util"), "avg-CRAT-util")
+	}
+}
+
+func BenchmarkFig16LocalAccesses(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		t, err := s.Figure16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, t, "reduction"), "avg-local-reduction")
+	}
+}
+
+func BenchmarkEnergy(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		t, err := s.Energy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(1-lastRowMetric(b, t, "CRAT/OptTLP"), "avg-energy-saving")
+	}
+}
+
+func BenchmarkFig17Kepler(b *testing.B) {
+	s := sessionFor(b, gpusim.KeplerConfig())
+	for i := 0; i < b.N; i++ {
+		t, err := s.Figure17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, t, "CRAT speedup"), "geomean-CRAT-kepler")
+	}
+}
+
+func BenchmarkFig18InputSensitivity(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Figure18(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig19Insensitive(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		t, err := s.Figure19()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, t, "CRAT"), "geomean-CRAT-insensitive")
+	}
+}
+
+func BenchmarkFig20StaticTLP(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		t, err := s.Figure20()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastRowMetric(b, t, "CRAT-static"), "geomean-CRAT-static")
+	}
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Overhead(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationScheduler(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSpillCost(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationSpillCost(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSubstackSplit(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationSubstackSplit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPruning(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationPruning(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTPSC(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationTPSC(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBypass(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AblationBypass(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (warp
+// instructions per second) on a representative workload, independent of
+// the experiment harness.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	arch := gpusim.FermiConfig()
+	p, _ := workloads.ByAbbr("STM")
+	app := p.App()
+	var warpInsts int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.SimulateKernel(app, arch, app.Kernel, 0, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		warpInsts += st.WarpInsts
+	}
+	b.ReportMetric(float64(warpInsts)/b.Elapsed().Seconds(), "warp-insts/s")
+	_ = io.Discard
+}

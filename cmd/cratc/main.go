@@ -1,0 +1,149 @@
+// Command cratc is the CRAT optimizing compiler driver: it reads a PTX
+// kernel, runs coordinated register allocation and TLP optimization for a
+// target architecture and launch shape, and writes the transformed PTX
+// (physical registers, spill code, shared-memory sub-stacks) together with
+// the chosen (reg, TLP) configuration.
+//
+// Usage:
+//
+//	cratc -in kernel.ptx -block 128 [-grid 12] [-arch fermi|kepler]
+//	      [-reg N] [-tlp N] [-no-shared-spill] [-out out.ptx]
+//
+// With -reg (and optionally -tlp) the design-space search is skipped and
+// the kernel is allocated at exactly that budget — the "max regcount"
+// workflow. Without them, cratc explores the pruned design space and picks
+// the TPSC winner; because OptTLP profiling needs input data the tool does
+// not have, OptTLP defaults to the static occupancy bound unless -opttlp
+// is supplied.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"crat/internal/core"
+	"crat/internal/gpusim"
+	"crat/internal/ptx"
+	"crat/internal/regalloc"
+	"crat/internal/spillopt"
+)
+
+func main() {
+	in := flag.String("in", "", "input PTX file (required)")
+	out := flag.String("out", "", "output PTX file (default stdout)")
+	kernelName := flag.String("kernel", "", "kernel to optimize when the module has several (paper: \"we only focus on the most time-consuming kernel\")")
+	archFlag := flag.String("arch", "fermi", "target architecture: fermi or kepler")
+	block := flag.Int("block", 0, "threads per block (required)")
+	regCap := flag.Int("reg", 0, "allocate at exactly this register budget (skip search)")
+	tlpFlag := flag.Int("tlp", 0, "thread-block TLP limit for spill planning")
+	optTLP := flag.Int("opttlp", 0, "optimal TLP (default: occupancy at the default registers)")
+	noShared := flag.Bool("no-shared-spill", false, "disable the shared-memory spilling optimization")
+	coalesceFlag := flag.Bool("coalesce", false, "run conservative copy coalescing before coloring (useful on SSA-style nvcc PTX)")
+	verbose := flag.Bool("v", false, "print the analysis and candidate table")
+	flag.Parse()
+
+	if *in == "" || *block <= 0 {
+		fmt.Fprintln(os.Stderr, "cratc: -in and -block are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	check(err)
+	module, err := ptx.ParseModule(string(src))
+	check(err)
+	var kernel *ptx.Kernel
+	switch {
+	case len(module.Kernels) == 0:
+		check(fmt.Errorf("no kernels in %s", *in))
+	case *kernelName != "":
+		k, ok := module.Kernel(*kernelName)
+		if !ok {
+			check(fmt.Errorf("kernel %q not found in %s", *kernelName, *in))
+		}
+		kernel = k
+	case len(module.Kernels) == 1:
+		kernel = module.Kernels[0]
+	default:
+		names := make([]string, len(module.Kernels))
+		for i, k := range module.Kernels {
+			names[i] = k.Name
+		}
+		check(fmt.Errorf("module has %d kernels (%v); select one with -kernel", len(names), names))
+	}
+	check(kernel.Validate())
+
+	arch := gpusim.FermiConfig()
+	if *archFlag == "kepler" {
+		arch = gpusim.KeplerConfig()
+	}
+
+	var result *ptx.Kernel
+	var chosenReg, chosenTLP int
+
+	if *regCap > 0 {
+		// Fixed-budget mode.
+		allocOpts := regalloc.Options{Regs: *regCap, Coalesce: *coalesceFlag}
+		alloc, err := regalloc.Allocate(kernel, allocOpts)
+		check(err)
+		tlp := *tlpFlag
+		if tlp == 0 {
+			tlp = arch.Occupancy(alloc.UsedRegs, kernel.SharedBytes(), *block)
+		}
+		result = alloc.Kernel
+		if !*noShared && len(alloc.Spills) > 0 && tlp > 0 {
+			res, err := spillopt.Optimize(alloc, allocOpts, spillopt.Options{
+				SpareShmBytes: core.SpareShm(arch, kernel.SharedBytes(), tlp),
+				BlockSize:     *block,
+			})
+			check(err)
+			result = res.Alloc.Kernel
+		}
+		chosenReg, chosenTLP = *regCap, tlp
+	} else {
+		app := core.App{Name: kernel.Name, Kernel: kernel, Block: *block, Grid: 1}
+		a, err := core.Analyze(app, arch)
+		check(err)
+		opt := *optTLP
+		if opt == 0 {
+			opt = a.MaxTLP
+		}
+		d, err := core.Optimize(app, core.Options{
+			Arch: arch, OptTLP: opt, SpillShared: !*noShared, Coalesce: *coalesceFlag,
+		})
+		check(err)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "analysis: MaxReg=%d MinReg=%d MaxTLP=%d OptTLP=%d ShmSize=%d\n",
+				a.MaxReg, a.MinReg, a.MaxTLP, opt, a.ShmSize)
+			for _, c := range d.Candidates {
+				fmt.Fprintf(os.Stderr, "candidate reg=%-3d tlp=%d spills(local=%d shm=%d others=%d) tpsc=%.2f\n",
+					c.Reg, c.TLP, c.Overhead.Locals(), c.Overhead.Shareds(), c.Overhead.AddrInsts, c.TPSC)
+			}
+		}
+		result = d.Chosen.Kernel()
+		chosenReg, chosenTLP = d.Chosen.UsedRegs(), d.Chosen.TLP
+	}
+
+	// Re-emit the whole module with the optimized kernel swapped in.
+	for i, k := range module.Kernels {
+		if k == kernel {
+			module.Kernels[i] = result
+		}
+	}
+	text := ptx.PrintModule(module)
+	header := fmt.Sprintf("// cratc: arch=%s block=%d kernel=%s reg=%d tlp=%d\n",
+		arch.Name, *block, result.Name, chosenReg, chosenTLP)
+	if *out == "" {
+		fmt.Print(header + text)
+	} else {
+		check(os.WriteFile(*out, []byte(header+text), 0o644))
+	}
+	fmt.Fprintf(os.Stderr, "cratc: chose reg=%d tlp=%d\n", chosenReg, chosenTLP)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cratc:", err)
+		os.Exit(1)
+	}
+}

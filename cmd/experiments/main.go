@@ -1,0 +1,54 @@
+// Command experiments regenerates the tables and figures of the CRAT paper
+// (MICRO 2015) evaluation on the simulated GPU.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig13,fig14,fig15
+//	experiments -list
+//
+// See DESIGN.md for the experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crat/internal/harness"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment ids, or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list || *runFlag == "" {
+		fmt.Println("available experiments:")
+		for _, e := range harness.Experiments() {
+			arch := e.Arch
+			if arch == "" {
+				arch = "fermi"
+			}
+			fmt.Printf("  %-14s %-8s %s\n", e.ID, arch, e.Desc)
+		}
+		if *runFlag == "" {
+			fmt.Println("\nselect with -run <ids> or -run all")
+		}
+		return
+	}
+
+	start := time.Now()
+	ids := strings.Split(*runFlag, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	if err := harness.RunExperiments(ids, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %s\n", time.Since(start).Round(time.Second))
+}

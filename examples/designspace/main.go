@@ -1,0 +1,86 @@
+// Designspace: run the full CRAT pipeline on the CFD workload — the paper's
+// motivating example — and compare the four configurations of §7.2.
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"crat/internal/core"
+	"crat/internal/gpusim"
+	"crat/internal/workloads"
+)
+
+func main() {
+	arch := gpusim.FermiConfig()
+	p, ok := workloads.ByAbbr("CFD")
+	if !ok {
+		log.Fatal("CFD workload missing")
+	}
+	app := p.App()
+
+	// Resource usage analysis (paper Table 1).
+	a, err := core.Analyze(app, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analysis: MaxReg=%d MinReg=%d DefaultReg=%d BlockSize=%d MaxTLP=%d\n",
+		a.MaxReg, a.MinReg, a.DefaultReg, a.BlockSize, a.MaxTLP)
+
+	// The (reg, TLP) staircase (paper Figure 11).
+	stairs := a.Staircase(arch)
+	tlps := make([]int, 0, len(stairs))
+	for t := range stairs {
+		tlps = append(tlps, t)
+	}
+	sort.Ints(tlps)
+	fmt.Print("staircase (TLP -> rightmost reg):")
+	for _, t := range tlps {
+		fmt.Printf(" %d->%d", t, stairs[t])
+	}
+	fmt.Println()
+
+	// OptTLP through profiling (paper §4.1).
+	opt, runs, err := core.ProfileOptTLP(app, arch, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a.OptTLP = opt
+	fmt.Printf("profiled OptTLP = %d:\n", opt)
+	for i, st := range runs {
+		fmt.Printf("  TLP=%d: %8d cycles, L1 hit %.3f\n", i+1, st.Cycles, st.L1HitRate())
+	}
+
+	// Full pipeline: pruning, per-candidate allocation + Algorithm 1, TPSC.
+	d, err := core.Optimize(app, core.Options{Arch: arch, OptTLP: opt, SpillShared: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("candidates after pruning:")
+	for _, c := range d.Candidates {
+		fmt.Printf("  (reg=%-2d TLP=%d): local spills=%-3d shared spills=%-3d TPSC=%.1f\n",
+			c.Reg, c.TLP, c.Overhead.Locals(), c.Overhead.Shareds(), c.TPSC)
+	}
+	fmt.Printf("CRAT chose (reg=%d, TLP=%d)\n\n", d.Chosen.UsedRegs(), d.Chosen.TLP)
+
+	// Compare the four configurations (paper Figure 13).
+	var base int64
+	for _, m := range []core.Mode{core.ModeMaxTLP, core.ModeOptTLP, core.ModeCRATLocal, core.ModeCRAT} {
+		st, dd, err := core.RunMode(app, m, core.Options{Arch: arch, OptTLP: opt})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m == core.ModeOptTLP {
+			base = st.Cycles
+		}
+		speed := "    -"
+		if base > 0 {
+			speed = fmt.Sprintf("%.3f", float64(base)/float64(st.Cycles))
+		}
+		fmt.Printf("%-11s reg=%-3d TLP=%d  cycles=%-9d  vs OptTLP %s  L1 %.3f  local ops %d\n",
+			m, dd.Chosen.UsedRegs(), dd.Chosen.TLP, st.Cycles, speed, st.L1HitRate(), st.LocalOps())
+	}
+}

@@ -1,0 +1,3 @@
+module crat
+
+go 1.22

@@ -1,0 +1,361 @@
+// Package cfg builds control-flow graphs over PTX kernels and provides the
+// dataflow analyses the CRAT framework relies on: liveness (for live ranges
+// and interference, paper §5), post-dominators (for SIMT reconvergence in
+// the simulator), and loop nesting depth (for spill-cost weighting).
+package cfg
+
+import (
+	"fmt"
+
+	"crat/internal/ptx"
+)
+
+// Block is a basic block: a maximal straight-line instruction range
+// [Start, End) of the kernel.
+type Block struct {
+	Index int
+	Start int // first instruction index
+	End   int // one past last instruction index
+	Succs []int
+	Preds []int
+}
+
+// Graph is the control-flow graph of a kernel. Block ExitIndex is a virtual
+// exit node (empty range) that every exit/ret instruction and the fallthrough
+// of the last block flow into; it simplifies post-dominator computation.
+type Graph struct {
+	Kernel    *ptx.Kernel
+	Blocks    []Block
+	ExitIndex int
+	blockOf   []int // instruction index -> block index
+}
+
+// Build constructs the CFG of k. It returns an error for malformed control
+// flow (branches to unknown labels).
+func Build(k *ptx.Kernel) (*Graph, error) {
+	n := len(k.Insts)
+	labels := make(map[string]int)
+	for i := range k.Insts {
+		if l := k.Insts[i].Label; l != "" {
+			labels[l] = i
+		}
+	}
+
+	// Leaders: first instruction, branch targets, and fallthroughs of
+	// control instructions.
+	leader := make([]bool, n+1)
+	if n > 0 {
+		leader[0] = true
+	}
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		switch in.Op {
+		case ptx.OpBra:
+			t, ok := labels[in.Target]
+			if !ok {
+				return nil, fmt.Errorf("cfg: branch to undefined label %q", in.Target)
+			}
+			leader[t] = true
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case ptx.OpExit, ptx.OpRet:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	g := &Graph{Kernel: k, blockOf: make([]int, n)}
+	start := 0
+	for i := 1; i <= n; i++ {
+		if i == n || leader[i] {
+			b := Block{Index: len(g.Blocks), Start: start, End: i}
+			g.Blocks = append(g.Blocks, b)
+			start = i
+		}
+	}
+	g.ExitIndex = len(g.Blocks)
+	g.Blocks = append(g.Blocks, Block{Index: g.ExitIndex, Start: n, End: n})
+
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		for i := b.Start; i < b.End; i++ {
+			g.blockOf[i] = bi
+		}
+	}
+
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for bi := 0; bi < g.ExitIndex; bi++ {
+		b := &g.Blocks[bi]
+		if b.Start == b.End {
+			continue
+		}
+		last := &k.Insts[b.End-1]
+		switch last.Op {
+		case ptx.OpBra:
+			addEdge(bi, g.blockOf[labels[last.Target]])
+			if last.Guard != ptx.NoReg {
+				// Conditional branch also falls through.
+				if b.End < n {
+					addEdge(bi, g.blockOf[b.End])
+				} else {
+					addEdge(bi, g.ExitIndex)
+				}
+			}
+		case ptx.OpExit, ptx.OpRet:
+			addEdge(bi, g.ExitIndex)
+		default:
+			if b.End < n {
+				addEdge(bi, g.blockOf[b.End])
+			} else {
+				addEdge(bi, g.ExitIndex)
+			}
+		}
+	}
+	return g, nil
+}
+
+// BlockOf returns the block index containing instruction i.
+func (g *Graph) BlockOf(i int) int { return g.blockOf[i] }
+
+// NumBlocks returns the number of blocks including the virtual exit.
+func (g *Graph) NumBlocks() int { return len(g.Blocks) }
+
+// PostDominators computes the immediate post-dominator of every block using
+// the iterative Cooper-Harvey-Kennedy algorithm on the reverse CFG. The
+// virtual exit post-dominates everything. Returns ipdom indexed by block;
+// ipdom[exit] == exit.
+func (g *Graph) PostDominators() []int {
+	n := len(g.Blocks)
+	// Reverse post-order of the reverse CFG = post-order from exit over preds.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, p := range g.Blocks[b].Preds {
+			if !seen[p] {
+				dfs(p)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(g.ExitIndex)
+	// order is post-order ending at exit; process in reverse (exit first).
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b] = len(order) - 1 - i
+	}
+
+	ipdom := make([]int, n)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[g.ExitIndex] = g.ExitIndex
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = ipdom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == g.ExitIndex {
+				continue
+			}
+			newIdom := -1
+			for _, s := range g.Blocks[b].Succs {
+				if ipdom[s] == -1 || rpoNum[s] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = s
+				} else {
+					newIdom = intersect(newIdom, s)
+				}
+			}
+			if newIdom != -1 && ipdom[b] != newIdom {
+				ipdom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return ipdom
+}
+
+// LoopDepth returns the loop-nesting depth of every block, computed from
+// natural loops of back edges (an edge u->v where v dominates u). Blocks
+// outside any loop have depth 0.
+func (g *Graph) LoopDepth() []int {
+	n := len(g.Blocks)
+	idom := g.dominators()
+	dominates := func(a, b int) bool {
+		// Does a dominate b? Walk the dominator tree from b.
+		for b != -1 {
+			if b == a {
+				return true
+			}
+			if b == idom[b] {
+				break
+			}
+			b = idom[b]
+		}
+		return false
+	}
+
+	depth := make([]int, n)
+	for u := range g.Blocks {
+		for _, v := range g.Blocks[u].Succs {
+			if !dominates(v, u) {
+				continue
+			}
+			// Natural loop of back edge u->v: v plus all blocks that can
+			// reach u without passing through v.
+			inLoop := make([]bool, n)
+			inLoop[v] = true
+			stack := []int{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if inLoop[b] {
+					continue
+				}
+				inLoop[b] = true
+				for _, p := range g.Blocks[b].Preds {
+					if !inLoop[p] {
+						stack = append(stack, p)
+					}
+				}
+			}
+			for b := range inLoop {
+				if inLoop[b] {
+					depth[b]++
+				}
+			}
+		}
+	}
+	return depth
+}
+
+// dominators computes immediate dominators (entry block 0 is the root).
+func (g *Graph) dominators() []int {
+	n := len(g.Blocks)
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	if n == 0 {
+		return nil
+	}
+	dfs(0)
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range order {
+		rpoNum[b] = len(order) - 1 - i
+	}
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if idom[p] == -1 || rpoNum[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// InstLoopDepth returns the loop depth of every instruction.
+func (g *Graph) InstLoopDepth() []int {
+	bd := g.LoopDepth()
+	out := make([]int, len(g.Kernel.Insts))
+	for i := range out {
+		out[i] = bd[g.blockOf[i]]
+	}
+	return out
+}
+
+// ReconvergencePoints returns, for every instruction index holding a
+// conditional branch, the instruction index where diverged warps reconverge:
+// the start of the branch block's immediate post-dominator. A value of
+// len(Insts) means reconvergence at kernel end.
+func (g *Graph) ReconvergencePoints() map[int]int {
+	ipdom := g.PostDominators()
+	out := make(map[int]int)
+	for bi := 0; bi < g.ExitIndex; bi++ {
+		b := &g.Blocks[bi]
+		if b.Start == b.End {
+			continue
+		}
+		last := b.End - 1
+		in := &g.Kernel.Insts[last]
+		if in.Op == ptx.OpBra && in.Guard != ptx.NoReg {
+			r := ipdom[bi]
+			if r == -1 || r == g.ExitIndex {
+				out[last] = len(g.Kernel.Insts)
+			} else {
+				out[last] = g.Blocks[r].Start
+			}
+		}
+	}
+	return out
+}

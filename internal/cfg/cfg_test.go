@@ -1,0 +1,405 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crat/internal/ptx"
+)
+
+// buildLoopKernel builds:
+//
+//	r0 = 0; r1 = n
+//	LOOP: p = r0 >= r1 ; @p bra DONE
+//	  r2 = r0 * 2
+//	  r0 = r0 + 1
+//	  bra LOOP
+//	DONE: exit
+func buildLoopKernel() *ptx.Kernel {
+	b := ptx.NewBuilder("loop")
+	b.Param("n", ptx.U32)
+	r0 := b.Reg(ptx.U32)
+	r1 := b.Reg(ptx.U32)
+	r2 := b.Reg(ptx.U32)
+	p := b.Reg(ptx.Pred)
+	b.Mov(ptx.U32, r0, ptx.Imm(0))
+	b.LdParam(ptx.U32, r1, "n")
+	b.Label("LOOP").Setp(ptx.CmpGe, ptx.U32, p, ptx.R(r0), ptx.R(r1))
+	b.BraIf(p, false, "DONE")
+	b.Mul(ptx.U32, r2, ptx.R(r0), ptx.Imm(2))
+	b.Add(ptx.U32, r0, ptx.R(r0), ptx.Imm(1))
+	b.Bra("LOOP")
+	b.Label("DONE").Exit()
+	return b.Kernel()
+}
+
+func TestBuildBlocks(t *testing.T) {
+	k := buildLoopKernel()
+	g, err := Build(k)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// Blocks: [entry 0-2), [LOOP header 2-4), [body 4-7), [DONE 7-8), exit.
+	if got := g.NumBlocks(); got != 5 {
+		t.Fatalf("NumBlocks = %d, want 5", got)
+	}
+	header := g.BlockOf(2)
+	body := g.BlockOf(4)
+	done := g.BlockOf(7)
+	if g.BlockOf(3) != header {
+		t.Error("setp and conditional bra should share a block")
+	}
+	hs := g.Blocks[header].Succs
+	if len(hs) != 2 {
+		t.Fatalf("header succs = %v, want 2", hs)
+	}
+	found := map[int]bool{}
+	for _, s := range hs {
+		found[s] = true
+	}
+	if !found[body] || !found[done] {
+		t.Errorf("header succs = %v, want {%d,%d}", hs, body, done)
+	}
+	bs := g.Blocks[body].Succs
+	if len(bs) != 1 || bs[0] != header {
+		t.Errorf("body succs = %v, want [%d]", bs, header)
+	}
+}
+
+func TestLoopDepth(t *testing.T) {
+	k := buildLoopKernel()
+	g, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.InstLoopDepth()
+	if d[0] != 0 || d[1] != 0 {
+		t.Errorf("entry depth = %d,%d, want 0,0", d[0], d[1])
+	}
+	for i := 2; i <= 6; i++ {
+		if d[i] != 1 {
+			t.Errorf("inst %d depth = %d, want 1", i, d[i])
+		}
+	}
+	if d[7] != 0 {
+		t.Errorf("DONE depth = %d, want 0", d[7])
+	}
+}
+
+func TestNestedLoopDepth(t *testing.T) {
+	b := ptx.NewBuilder("nest")
+	i := b.Reg(ptx.U32)
+	j := b.Reg(ptx.U32)
+	p := b.Reg(ptx.Pred)
+	q := b.Reg(ptx.Pred)
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	b.Label("OUTER").Setp(ptx.CmpGe, ptx.U32, p, ptx.R(i), ptx.Imm(4))
+	b.BraIf(p, false, "END")
+	b.Mov(ptx.U32, j, ptx.Imm(0))
+	b.Label("INNER").Setp(ptx.CmpGe, ptx.U32, q, ptx.R(j), ptx.Imm(4))
+	b.BraIf(q, false, "AFTER")
+	b.Add(ptx.U32, j, ptx.R(j), ptx.Imm(1))
+	b.Bra("INNER")
+	b.Label("AFTER").Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	b.Bra("OUTER")
+	b.Label("END").Exit()
+	g, err := Build(b.Kernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.InstLoopDepth()
+	// Inner loop body (the add to j at index 6) is depth 2.
+	if d[6] != 2 {
+		t.Errorf("inner body depth = %d, want 2", d[6])
+	}
+	// Outer body (the add to i at index 8) is depth 1.
+	if d[8] != 1 {
+		t.Errorf("outer body depth = %d, want 1", d[8])
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	k := buildLoopKernel()
+	g, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(g)
+
+	// r0 (reg 0) and r1 (reg 1) are live around the loop: live-out of the
+	// header block into the body.
+	header := g.BlockOf(2)
+	if !lv.BlockIn[header].Has(0) || !lv.BlockIn[header].Has(1) {
+		t.Error("r0/r1 should be live into loop header")
+	}
+	// r2 (reg 2) is dead everywhere after its def (never used).
+	body := g.BlockOf(4)
+	if lv.BlockOut[body].Has(2) {
+		t.Error("r2 should not be live out of body")
+	}
+	// Nothing is live at kernel entry.
+	if got := lv.LiveAtEntry().Count(); got != 0 {
+		t.Errorf("LiveAtEntry = %d registers, want 0", got)
+	}
+}
+
+func TestInstOut(t *testing.T) {
+	b := ptx.NewBuilder("straight")
+	a := b.Reg(ptx.U32)
+	c := b.Reg(ptx.U32)
+	d := b.Reg(ptx.U32)
+	b.Mov(ptx.U32, a, ptx.Imm(1))         // 0
+	b.Mov(ptx.U32, c, ptx.Imm(2))         // 1
+	b.Add(ptx.U32, d, ptx.R(a), ptx.R(c)) // 2
+	b.Add(ptx.U32, a, ptx.R(d), ptx.R(d)) // 3: kills a, uses d
+	b.Exit()                              // 4
+	g, err := Build(b.Kernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(g)
+	if !lv.InstOut[0].Has(a) {
+		t.Error("a live after inst 0")
+	}
+	if !lv.InstOut[1].Has(a) || !lv.InstOut[1].Has(c) {
+		t.Error("a,c live after inst 1")
+	}
+	if lv.InstOut[2].Has(c) {
+		t.Error("c dead after inst 2")
+	}
+	if !lv.InstOut[2].Has(d) {
+		t.Error("d live after inst 2")
+	}
+	if lv.InstOut[3].Has(d) && lv.InstOut[3].Has(a) {
+		// a is dead (never used after redefinition at 3), d dead too.
+		t.Error("nothing should be live after inst 3 except nothing")
+	}
+}
+
+func TestPredicatedDefKeepsValueLive(t *testing.T) {
+	// r = 1; @p r = 2; use r  — the first def must stay live across the
+	// predicated def because threads with !p keep the old value.
+	b := ptx.NewBuilder("preddef")
+	r := b.Reg(ptx.U32)
+	s := b.Reg(ptx.U32)
+	p := b.Reg(ptx.Pred)
+	b.Setp(ptx.CmpEq, ptx.U32, p, ptx.Imm(0), ptx.Imm(0)) // 0
+	b.Mov(ptx.U32, r, ptx.Imm(1))                         // 1
+	b.If(p, false).Mov(ptx.U32, r, ptx.Imm(2))            // 2 predicated def
+	b.Add(ptx.U32, s, ptx.R(r), ptx.R(r))                 // 3
+	b.Exit()
+	g, err := Build(b.Kernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(g)
+	if !lv.InstOut[1].Has(r) {
+		t.Error("r must be live after inst 1 (predicated redefinition)")
+	}
+}
+
+func TestMaxLivePressure(t *testing.T) {
+	b := ptx.NewBuilder("pressure")
+	regs := b.Regs(ptx.U32, 4)
+	wide := b.Reg(ptx.U64)
+	sum := b.Reg(ptx.U32)
+	for i, r := range regs {
+		b.Mov(ptx.U32, r, ptx.Imm(int64(i)))
+	}
+	b.Mov(ptx.U64, wide, ptx.Imm(7))
+	b.Mov(ptx.U32, sum, ptx.Imm(0))
+	for _, r := range regs {
+		b.Add(ptx.U32, sum, ptx.R(sum), ptx.R(r))
+	}
+	// Keep wide alive to the end.
+	last := b.Reg(ptx.U64)
+	b.Add(ptx.U64, last, ptx.R(wide), ptx.Imm(1))
+	b.Exit()
+	g, err := Build(b.Kernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(g)
+	// At the point after "sum=0": 4 regs + wide(2 slots) + sum = 7 slots.
+	if got := lv.MaxLivePressure(); got != 7 {
+		t.Errorf("MaxLivePressure = %d, want 7", got)
+	}
+}
+
+func TestPostDominators(t *testing.T) {
+	k := buildLoopKernel()
+	g, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipdom := g.PostDominators()
+	header := g.BlockOf(2)
+	done := g.BlockOf(7)
+	// DONE post-dominates the loop header.
+	got := ipdom[header]
+	for got != done && got != g.ExitIndex && got != ipdom[got] {
+		got = ipdom[got]
+	}
+	if got != done {
+		t.Errorf("DONE does not post-dominate header (chain reached %d)", got)
+	}
+}
+
+func TestReconvergencePoints(t *testing.T) {
+	// If/else diamond: reconvergence of the conditional branch is the join.
+	b := ptx.NewBuilder("diamond")
+	x := b.Reg(ptx.U32)
+	p := b.Reg(ptx.Pred)
+	b.MovSpec(x, ptx.SpecTidX)                            // 0
+	b.Setp(ptx.CmpLt, ptx.U32, p, ptx.R(x), ptx.Imm(16))  // 1
+	b.BraIf(p, false, "THEN")                             // 2
+	b.Add(ptx.U32, x, ptx.R(x), ptx.Imm(1))               // 3 else
+	b.Bra("JOIN")                                         // 4
+	b.Label("THEN").Add(ptx.U32, x, ptx.R(x), ptx.Imm(2)) // 5
+	b.Label("JOIN").Add(ptx.U32, x, ptx.R(x), ptx.Imm(3)) // 6
+	b.Exit()                                              // 7
+	g, err := Build(b.Kernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := g.ReconvergencePoints()
+	if got, ok := rp[2]; !ok || got != 6 {
+		t.Errorf("reconvergence of branch 2 = %d (%v), want 6", got, ok)
+	}
+}
+
+func TestRegSetProperties(t *testing.T) {
+	f := func(adds []uint8) bool {
+		s := NewRegSet(256)
+		ref := map[ptx.Reg]bool{}
+		for _, a := range adds {
+			r := ptx.Reg(a)
+			s.Add(r)
+			ref[r] = true
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for r := range ref {
+			if !s.Has(r) {
+				return false
+			}
+		}
+		n := 0
+		s.ForEach(func(r ptx.Reg) {
+			if !ref[r] {
+				n = -1000
+			}
+			n++
+		})
+		return n == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegSetUnionRemove(t *testing.T) {
+	a := NewRegSet(128)
+	b := NewRegSet(128)
+	a.Add(1)
+	a.Add(64)
+	b.Add(64)
+	b.Add(127)
+	if !a.Union(b) {
+		t.Error("union should change a")
+	}
+	if a.Union(b) {
+		t.Error("second union should not change a")
+	}
+	if a.Count() != 3 {
+		t.Errorf("count = %d, want 3", a.Count())
+	}
+	a.Remove(64)
+	if a.Has(64) || a.Count() != 2 {
+		t.Error("remove failed")
+	}
+}
+
+func TestLiveRangesAndWeights(t *testing.T) {
+	k := buildLoopKernel()
+	g, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := ComputeLiveness(g)
+	ranges := lv.LiveRanges()
+	// r0 spans from inst 0 (def) to at least inst 5 (last add).
+	if ranges[0].Start != 0 || ranges[0].End < 5 {
+		t.Errorf("r0 range = [%d,%d], want [0,>=5]", ranges[0].Start, ranges[0].End)
+	}
+	w := lv.AccessWeights()
+	// r0 is accessed inside the loop (weight 10 per access) and once
+	// outside; its weight must exceed r2's (one def in loop).
+	if w[0] <= w[2] {
+		t.Errorf("weight r0 = %v should exceed r2 = %v", w[0], w[2])
+	}
+	// All loop accesses weigh 10x.
+	if w[2] != 10 {
+		t.Errorf("weight r2 = %v, want 10", w[2])
+	}
+}
+
+func TestBranchToUndefinedLabel(t *testing.T) {
+	k := ptx.NewKernel("bad")
+	k.Append(ptx.Inst{Op: ptx.OpBra, Target: "NOWHERE", Guard: ptx.NoReg})
+	if _, err := Build(k); err == nil {
+		t.Error("Build accepted branch to undefined label")
+	}
+}
+
+func TestDiamondHasNoLoops(t *testing.T) {
+	b := ptx.NewBuilder("diamond")
+	x := b.Reg(ptx.U32)
+	p := b.Reg(ptx.Pred)
+	b.MovSpec(x, ptx.SpecTidX)
+	b.Setp(ptx.CmpLt, ptx.U32, p, ptx.R(x), ptx.Imm(16))
+	b.BraIf(p, false, "THEN")
+	b.Add(ptx.U32, x, ptx.R(x), ptx.Imm(1))
+	b.Bra("JOIN")
+	b.Label("THEN").Add(ptx.U32, x, ptx.R(x), ptx.Imm(2))
+	b.Label("JOIN").Exit()
+	g, err := Build(b.Kernel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range g.InstLoopDepth() {
+		if d != 0 {
+			t.Errorf("inst %d depth = %d, want 0 (no loops in a diamond)", i, d)
+		}
+	}
+}
+
+func TestLoopBranchReconvergesAtExitBlock(t *testing.T) {
+	k := buildLoopKernel()
+	g, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp := g.ReconvergencePoints()
+	// The loop's conditional branch (inst 3) reconverges at DONE (inst 7).
+	if got, ok := rp[3]; !ok || got != 7 {
+		t.Errorf("loop branch reconvergence = %d (%v), want 7", got, ok)
+	}
+}
+
+func TestEmptyKernelGraph(t *testing.T) {
+	k := ptx.NewKernel("empty")
+	k.Append(ptx.Inst{Op: ptx.OpExit, Guard: ptx.NoReg})
+	g, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumBlocks() != 2 { // one real block + virtual exit
+		t.Errorf("NumBlocks = %d, want 2", g.NumBlocks())
+	}
+	lv := ComputeLiveness(g)
+	if lv.LiveAtEntry().Count() != 0 {
+		t.Error("empty kernel has live-in registers")
+	}
+}

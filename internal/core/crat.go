@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+
+	"crat/internal/gpusim"
+	"crat/internal/ptx"
+	"crat/internal/regalloc"
+	"crat/internal/spillopt"
+)
+
+// Mode selects which configuration of the paper's §7.2 comparison to build.
+type Mode uint8
+
+// Comparison modes.
+const (
+	// ModeMaxTLP: default register allocation, no throttling.
+	ModeMaxTLP Mode = iota
+	// ModeOptTLP: default register allocation, block-level thread
+	// throttling at the optimal TLP (Kayiran et al., PACT'13).
+	ModeOptTLP
+	// ModeCRATLocal: CRAT with the shared-memory spilling optimization
+	// disabled (spills go to local memory only).
+	ModeCRATLocal
+	// ModeCRAT: the full framework.
+	ModeCRAT
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case ModeMaxTLP:
+		return "MaxTLP"
+	case ModeOptTLP:
+		return "OptTLP"
+	case ModeCRATLocal:
+		return "CRAT-local"
+	default:
+		return "CRAT"
+	}
+}
+
+// Options configures the Optimize pipeline.
+type Options struct {
+	Arch gpusim.Config
+	// OptTLP overrides the optimal TLP (0 = obtain per OptTLPSource).
+	OptTLP int
+	// StaticOptTLP uses the static code-analysis estimator instead of
+	// profiling (CRAT-static, paper §7.6).
+	StaticOptTLP bool
+	// SpillShared disables (false) or enables (true) the shared-memory
+	// spilling optimization; ModeCRATLocal corresponds to false.
+	SpillShared bool
+	// Split selects the sub-stack splitting strategy for Algorithm 1.
+	Split spillopt.Split
+	// Coalesce enables the allocator's conservative copy-coalescing
+	// pre-pass for every candidate (useful on mov-heavy external PTX).
+	Coalesce bool
+	// UnweightedGain/UnweightedSpillCost are ablation knobs.
+	UnweightedGain      bool
+	UnweightedSpillCost bool
+	// DisablePruning keeps design points with TLP above OptTLP (ablation:
+	// the pruned points cause cache thrashing and should never win).
+	DisablePruning bool
+	// Oracle replaces the TPSC model with exhaustive simulation of every
+	// candidate (ablation: measures how close TPSC gets to the best
+	// achievable point).
+	Oracle bool
+	// Costs overrides the microbenchmarked per-access latencies
+	// (zero value = measure on Arch).
+	Costs gpusim.Costs
+}
+
+// Candidate is one surviving design point with its compiled kernel.
+type Candidate struct {
+	Reg      int // register per-thread budget (rightmost point of the stair)
+	TLP      int
+	Alloc    *regalloc.Result
+	Spill    *spillopt.Result // nil when spilling optimization disabled
+	Overhead ptx.SpillOverhead
+	TPSC     float64
+	// Cycles is filled only under Options.Oracle.
+	Cycles int64
+}
+
+// Kernel returns the executable kernel of the candidate.
+func (c Candidate) Kernel() *ptx.Kernel {
+	if c.Spill != nil {
+		return c.Spill.Alloc.Kernel
+	}
+	return c.Alloc.Kernel
+}
+
+// UsedRegs returns the per-thread register usage of the final kernel.
+func (c Candidate) UsedRegs() int {
+	if c.Spill != nil {
+		return c.Spill.Alloc.UsedRegs
+	}
+	return c.Alloc.UsedRegs
+}
+
+// Decision is the outcome of the CRAT pipeline for one app.
+type Decision struct {
+	App        App
+	Arch       gpusim.Config
+	Analysis   *Analysis
+	Costs      gpusim.Costs
+	Candidates []Candidate
+	Chosen     Candidate
+	// ProfileRuns counts simulations spent determining OptTLP (the
+	// profiling overhead of paper §7.7); static estimation uses 1.
+	ProfileRuns int
+}
+
+// Optimize runs the full CRAT pipeline on one app: analysis, OptTLP,
+// pruning, per-candidate register allocation and spilling optimization, and
+// TPSC selection.
+func Optimize(app App, opts Options) (*Decision, error) {
+	arch := opts.Arch
+	a, err := Analyze(app, arch)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decision{App: app, Arch: arch, Analysis: a}
+
+	// Determine OptTLP.
+	switch {
+	case opts.OptTLP > 0:
+		a.OptTLP = opts.OptTLP
+	case opts.StaticOptTLP:
+		in, err := MeasureStaticInputs(app, arch, a)
+		if err != nil {
+			return nil, err
+		}
+		a.OptTLP = EstimateOptTLP(a, arch, in)
+		d.ProfileRuns = 1
+	default:
+		opt, runs, err := ProfileOptTLP(app, arch, a)
+		if err != nil {
+			return nil, err
+		}
+		a.OptTLP = opt
+		d.ProfileRuns = len(runs)
+	}
+	if a.OptTLP > a.MaxTLP {
+		a.OptTLP = a.MaxTLP
+	}
+
+	// Per-access costs for the TPSC model.
+	d.Costs = opts.Costs
+	if d.Costs.Local == 0 && d.Costs.Shared == 0 {
+		c, err := gpusim.MeasureCosts(arch)
+		if err != nil {
+			return nil, err
+		}
+		d.Costs = c
+	}
+
+	// Design space pruning (§4.2): rightmost point per stair, TLP capped
+	// at OptTLP, dominated points removed (same reg at lower TLP can never
+	// win: identical code, less parallelism).
+	stairs := a.Staircase(arch)
+	seenReg := make(map[int]bool)
+	for _, tlp := range sortedTLPs(stairs) {
+		if !opts.DisablePruning && tlp > a.OptTLP {
+			continue
+		}
+		reg := stairs[tlp]
+		if seenReg[reg] {
+			continue
+		}
+		seenReg[reg] = true
+		cand, err := buildCandidate(app, arch, a, reg, tlp, opts)
+		if err != nil {
+			// Infeasible register budgets are simply not candidates.
+			continue
+		}
+		cand.TPSC = TPSC(tlp, a.BlockSize, arch.MaxThreadsPerSM, cand.Overhead, d.Costs)
+		d.Candidates = append(d.Candidates, *cand)
+	}
+	if len(d.Candidates) == 0 {
+		return nil, fmt.Errorf("core: %s: no feasible design points", app.Name)
+	}
+
+	if opts.Oracle {
+		// Ablation: simulate every candidate and take the fastest.
+		bestIdx, bestCycles := -1, int64(0)
+		for i := range d.Candidates {
+			c := &d.Candidates[i]
+			st, err := Simulate(app, arch, &appKernel{k: c.Kernel(), regs: c.UsedRegs()}, c.TLP)
+			if err != nil {
+				return nil, err
+			}
+			c.Cycles = st.Cycles
+			if bestIdx == -1 || st.Cycles < bestCycles {
+				bestIdx, bestCycles = i, st.Cycles
+			}
+		}
+		d.Chosen = d.Candidates[bestIdx]
+		return d, nil
+	}
+
+	// TPSC selection: smallest metric wins; ties (e.g. several spill-free
+	// points with cost 0) break toward the higher TLP, then more registers.
+	best := 0
+	for i := 1; i < len(d.Candidates); i++ {
+		c, b := &d.Candidates[i], &d.Candidates[best]
+		switch {
+		case c.TPSC < b.TPSC:
+			best = i
+		case c.TPSC == b.TPSC && c.TLP > b.TLP:
+			best = i
+		case c.TPSC == b.TPSC && c.TLP == b.TLP && c.Reg > b.Reg:
+			best = i
+		}
+	}
+	d.Chosen = d.Candidates[best]
+	return d, nil
+}
+
+// buildCandidate allocates registers for one design point and applies the
+// spilling optimization when enabled.
+func buildCandidate(app App, arch gpusim.Config, a *Analysis, reg, tlp int, opts Options) (*Candidate, error) {
+	allocOpts := regalloc.Options{
+		Regs:                reg,
+		Coalesce:            opts.Coalesce,
+		UnweightedSpillCost: opts.UnweightedSpillCost,
+	}
+	alloc, err := regalloc.Allocate(app.Kernel, allocOpts)
+	if err != nil {
+		return nil, err
+	}
+	c := &Candidate{Reg: reg, TLP: tlp, Alloc: alloc, Overhead: alloc.Kernel.SpillOverhead()}
+	if !opts.SpillShared {
+		return c, nil
+	}
+	spare := SpareShm(arch, a.ShmSize, tlp)
+	res, err := spillopt.Optimize(alloc, allocOpts, spillopt.Options{
+		SpareShmBytes:  spare,
+		BlockSize:      a.BlockSize,
+		Split:          opts.Split,
+		UnweightedGain: opts.UnweightedGain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Spill = res
+	c.Overhead = res.Overhead
+	return c, nil
+}
+
+// SpareShm computes the spare shared memory per block at a given TLP: the
+// slack the spilling optimization may consume without changing the TLP
+// (paper §5.3: "only utilizes the spare shared memory for spilling").
+func SpareShm(arch gpusim.Config, shmUsed int64, tlp int) int64 {
+	if tlp <= 0 {
+		return 0
+	}
+	perBlock := int64(arch.SharedMemBytes) / int64(tlp)
+	if perBlock > int64(arch.MaxSharedPerBlock) {
+		perBlock = int64(arch.MaxSharedPerBlock)
+	}
+	spare := perBlock - shmUsed
+	if spare < 0 {
+		return 0
+	}
+	return spare
+}
+
+// RunMode builds and simulates the kernel for one comparison mode,
+// returning the stats and the effective (reg, TLP) configuration.
+func RunMode(app App, mode Mode, opts Options) (gpusim.Stats, *Decision, error) {
+	arch := opts.Arch
+	switch mode {
+	case ModeMaxTLP, ModeOptTLP:
+		a, err := Analyze(app, arch)
+		if err != nil {
+			return gpusim.Stats{}, nil, err
+		}
+		alloc, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: a.DefaultReg})
+		if err != nil {
+			return gpusim.Stats{}, nil, err
+		}
+		tlp := 0 // hardware maximum
+		if mode == ModeOptTLP {
+			switch {
+			case opts.OptTLP > 0:
+				a.OptTLP = opts.OptTLP
+			case opts.StaticOptTLP:
+				in, err := MeasureStaticInputs(app, arch, a)
+				if err != nil {
+					return gpusim.Stats{}, nil, err
+				}
+				a.OptTLP = EstimateOptTLP(a, arch, in)
+			default:
+				opt, _, err := ProfileOptTLP(app, arch, a)
+				if err != nil {
+					return gpusim.Stats{}, nil, err
+				}
+				a.OptTLP = opt
+			}
+			tlp = a.OptTLP
+		}
+		st, err := Simulate(app, arch, &appKernel{k: alloc.Kernel, regs: alloc.UsedRegs}, tlp)
+		d := &Decision{App: app, Arch: arch, Analysis: a}
+		d.Chosen = Candidate{Reg: a.DefaultReg, TLP: tlp, Alloc: alloc, Overhead: alloc.Kernel.SpillOverhead()}
+		if tlp == 0 {
+			d.Chosen.TLP = a.MaxTLP
+		}
+		return st, d, err
+	case ModeCRATLocal, ModeCRAT:
+		o := opts
+		o.SpillShared = mode == ModeCRAT
+		d, err := Optimize(app, o)
+		if err != nil {
+			return gpusim.Stats{}, nil, err
+		}
+		st, err := Simulate(app, arch, &appKernel{k: d.Chosen.Kernel(), regs: d.Chosen.UsedRegs()}, d.Chosen.TLP)
+		return st, d, err
+	}
+	return gpusim.Stats{}, nil, fmt.Errorf("core: unknown mode %d", mode)
+}
+
+// RegisterUtilization returns the fraction of the register file a
+// configuration occupies: TLP * BlockSize * reg / RegFileRegs (paper
+// Figures 1b and 15).
+func RegisterUtilization(arch gpusim.Config, tlp, blockSize, reg int) float64 {
+	u := float64(tlp*blockSize*reg) / float64(arch.RegFileRegs)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"crat/internal/gpusim"
+	"crat/internal/ptx"
+)
+
+// TLPGain models the diminishing return of additional parallelism
+// (paper §6):
+//
+//	TLPgain = 1 - (TLP*BlockSize) / (TLP*BlockSize + MaxThread)
+//
+// It decreases toward zero as the TLP approaches the hardware thread limit,
+// reflecting that once latency is hidden, extra threads stop helping.
+func TLPGain(tlp, blockSize, maxThreads int) float64 {
+	t := float64(tlp * blockSize)
+	return 1 - t/(t+float64(maxThreads))
+}
+
+// SpillCost estimates the overhead of the inserted spill instructions
+// (paper §6):
+//
+//	SpillCost = Num_local*Cost_local + Num_shm*Cost_shm + Num_others
+//
+// where the Num terms are static counts of allocator-inserted instructions
+// and the Cost terms are per-access latencies measured through
+// microbenchmarks (gpusim.MeasureCosts).
+func SpillCost(o ptx.SpillOverhead, costs gpusim.Costs) float64 {
+	return float64(o.Locals())*costs.Local +
+		float64(o.Shareds())*costs.Shared +
+		float64(o.AddrInsts)
+}
+
+// TPSC is the Thread-level Parallelism and Spill Cost metric: the product
+// of the two terms. Candidates with the smallest TPSC are preferred: high
+// TLP drives TLPgain down, few/cheap spills drive SpillCost down.
+func TPSC(tlp, blockSize, maxThreads int, o ptx.SpillOverhead, costs gpusim.Costs) float64 {
+	return TLPGain(tlp, blockSize, maxThreads) * SpillCost(o, costs)
+}

@@ -1,0 +1,147 @@
+package gpusim
+
+// cacheLine is one line of a set-associative cache.
+type cacheLine struct {
+	valid bool
+	tag   uint64
+	last  int64 // LRU timestamp
+}
+
+// cache is a set-associative LRU cache with an MSHR file for outstanding
+// misses. It is a tag store only — data flows through the functional model.
+type cache struct {
+	cfg   CacheConfig
+	sets  [][]cacheLine
+	clock int64
+
+	// inflight maps missed line addresses to their fill-completion cycle;
+	// its size is bounded by cfg.MSHRs (when non-zero).
+	inflight map[uint64]int64
+
+	accesses   int64
+	hits       int64
+	misses     int64
+	mshrMerges int64
+
+	// seen tracks every distinct line ever inserted: the footprint
+	// measurement behind the static OptTLP estimator.
+	seen map[uint64]struct{}
+}
+
+func newCache(cfg CacheConfig) *cache {
+	c := &cache{cfg: cfg, inflight: make(map[uint64]int64), seen: make(map[uint64]struct{})}
+	n := cfg.Sets()
+	if n < 1 {
+		n = 1
+	}
+	c.sets = make([][]cacheLine, n)
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Assoc)
+	}
+	return c
+}
+
+// lineAddr maps a byte address to its line address.
+func (c *cache) lineAddr(addr uint64) uint64 {
+	return addr / uint64(c.cfg.LineBytes)
+}
+
+func (c *cache) setAndTag(line uint64) (int, uint64) {
+	n := uint64(len(c.sets))
+	return int(line % n), line / n
+}
+
+// probe reports whether line is present (without touching LRU state) and
+// whether it is currently in flight.
+func (c *cache) probe(line uint64) (hit, pending bool) {
+	set, tag := c.setAndTag(line)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return true, false
+		}
+	}
+	_, p := c.inflight[line]
+	return false, p
+}
+
+// freeMSHRs returns how many new outstanding misses the cache can accept.
+func (c *cache) freeMSHRs() int {
+	if c.cfg.MSHRs <= 0 {
+		return 1 << 30
+	}
+	return c.cfg.MSHRs - len(c.inflight)
+}
+
+// expire releases MSHRs whose fills completed at or before now and inserts
+// the lines.
+func (c *cache) expire(now int64) {
+	for line, done := range c.inflight {
+		if done <= now {
+			c.insert(line, now)
+			delete(c.inflight, line)
+		}
+	}
+}
+
+// insert fills a line, evicting LRU.
+func (c *cache) insert(line uint64, now int64) {
+	c.seen[line] = struct{}{}
+	set, tag := c.setAndTag(line)
+	victim := 0
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if !l.valid {
+			victim = i
+			break
+		}
+		if l.last < c.sets[set][victim].last {
+			victim = i
+		}
+	}
+	c.sets[set][victim] = cacheLine{valid: true, tag: tag, last: now}
+}
+
+// access performs one access at cycle now. On a hit it refreshes LRU and
+// returns (true, now). On a miss it allocates an MSHR (or merges with an
+// in-flight fill) and returns (false, fillDone), where fillDone is supplied
+// by the caller via fill for new misses. The caller must check freeMSHRs
+// and probe before committing.
+func (c *cache) access(line uint64, now int64, fillDone int64) (hit bool, ready int64) {
+	c.accesses++
+	set, tag := c.setAndTag(line)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.last = now
+			c.hits++
+			return true, now
+		}
+	}
+	c.misses++
+	if done, ok := c.inflight[line]; ok {
+		c.mshrMerges++
+		return false, done
+	}
+	c.inflight[line] = fillDone
+	return false, fillDone
+}
+
+// evict invalidates a line if present (write-evict policy for global
+// stores).
+func (c *cache) evict(line uint64) {
+	set, tag := c.setAndTag(line)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.valid = false
+		}
+	}
+}
+
+// hitRate returns the hit fraction (0 when no accesses).
+func (c *cache) hitRate() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.accesses)
+}

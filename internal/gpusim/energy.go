@@ -1,0 +1,45 @@
+package gpusim
+
+// Energy model in the spirit of GPUWattch (Leng et al., ISCA'13): a static
+// power term integrated over runtime plus per-event dynamic energies. The
+// absolute coefficients are representative per-event energies for a
+// Fermi-class 40nm part; the CRAT experiments only use energy *ratios*
+// (paper §7.2 reports a 16.5% saving vs OptTLP), which depend on the
+// ordering DRAM >> L2 >> L1/shared >> ALU and on runtime, both of which the
+// model captures.
+type EnergyModel struct {
+	StaticWattsPerSM float64
+	ALUPerThreadOp   float64 // joules
+	SFUPerThreadOp   float64
+	RFPerThreadOp    float64 // register file access per thread-op
+	SharedPerAccess  float64
+	L1PerAccess      float64
+	L2PerAccess      float64
+	DRAMPerByte      float64
+}
+
+// DefaultEnergyModel returns the coefficients used by the experiments.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		StaticWattsPerSM: 2.6,
+		ALUPerThreadOp:   8e-12,
+		SFUPerThreadOp:   25e-12,
+		RFPerThreadOp:    4e-12,
+		SharedPerAccess:  30e-12,
+		L1PerAccess:      40e-12,
+		L2PerAccess:      150e-12,
+		DRAMPerByte:      120e-12,
+	}
+}
+
+// Energy estimates the energy in joules of one simulated run.
+func (m EnergyModel) Energy(cfg Config, s Stats) float64 {
+	seconds := float64(s.Cycles) / (float64(cfg.ClockMHz) * 1e6)
+	e := m.StaticWattsPerSM * seconds
+	e += float64(s.ThreadInsts) * (m.ALUPerThreadOp + m.RFPerThreadOp)
+	e += float64(s.SharedLoads+s.SharedStores) * m.SharedPerAccess
+	e += float64(s.L1Accesses) * m.L1PerAccess
+	e += float64(s.L2Accesses) * m.L2PerAccess
+	e += float64(s.DRAMBytes) * m.DRAMPerByte
+	return e
+}

@@ -1,0 +1,471 @@
+package gpusim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"crat/internal/ptx"
+)
+
+// execute issues the warp's next instruction: functional effects happen
+// immediately (functional-first simulation), destination registers become
+// ready after the modeled latency.
+func (s *Simulator) execute(w *warp) {
+	top := &w.stack[len(w.stack)-1]
+	if top.pc >= len(s.kernel.Insts) {
+		s.exitLanes(w, top.mask)
+		return
+	}
+	pc := top.pc
+	in := &s.kernel.Insts[pc]
+
+	// Effective execution mask: active lanes whose guard holds.
+	execMask := uint64(0)
+	for l, th := range w.lanes {
+		if top.mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		if in.Guard != ptx.NoReg {
+			p := th.regs[in.Guard] != 0
+			if p == in.GuardNeg {
+				continue
+			}
+		}
+		execMask |= 1 << uint(l)
+	}
+
+	s.stats.WarpInsts++
+	s.stats.ThreadInsts += int64(bits.OnesCount64(execMask))
+	s.countMeta(in, execMask)
+	if s.launch.Trace != nil {
+		fmt.Fprintf(s.launch.Trace, "%8d w%03d b%03d pc=%-4d mask=%08x %s\n",
+			s.now, w.id, w.block.id, pc, execMask, ptx.FormatInst(s.kernel, pc))
+	}
+
+	switch in.Op {
+	case ptx.OpBra:
+		s.execBranch(w, pc, in, top.mask, execMask)
+		return
+	case ptx.OpExit, ptx.OpRet:
+		s.exitLanes(w, top.mask)
+		return
+	case ptx.OpBar:
+		top.pc++
+		s.popReconverged(w)
+		w.barrier = true
+		w.block.arrived++
+		s.releaseBarrier(w.block)
+		return
+	case ptx.OpNop:
+		top.pc++
+		s.popReconverged(w)
+		return
+	}
+
+	latency := int64(s.cfg.ALULat)
+	isMem := false
+	switch {
+	case in.Op.IsMemory() && in.Space != ptx.SpaceParam:
+		latency, isMem = s.execMemory(w, in, execMask)
+	case in.Op.IsMemory(): // ld.param: constant-cache cost
+		s.execFunctional(w, in, execMask)
+	case in.Op.IsSFU():
+		latency = int64(s.cfg.SFULat)
+		s.execFunctional(w, in, execMask)
+	default:
+		s.execFunctional(w, in, execMask)
+	}
+
+	// Scoreboard the destination.
+	if in.Dst.Kind == ptx.OperandReg {
+		r := in.Dst.Reg
+		ready := s.now + latency
+		if ready > w.regReady[r] {
+			w.regReady[r] = ready
+			w.readyIsMem[r] = isMem
+		}
+	}
+
+	top.pc++
+	s.popReconverged(w)
+}
+
+// countMeta updates dynamic spill-overhead statistics.
+func (s *Simulator) countMeta(in *ptx.Inst, execMask uint64) {
+	n := int64(bits.OnesCount64(execMask))
+	switch in.Meta {
+	case ptx.MetaSpillLoad, ptx.MetaSpillStore:
+		if in.Space == ptx.SpaceShared {
+			s.stats.SpillSharedOps += n
+		} else {
+			s.stats.SpillLocalOps += n
+		}
+	case ptx.MetaSpillAddr:
+		s.stats.SpillAddrOps += n
+	}
+}
+
+// execBranch implements SIMT divergence with immediate-post-dominator
+// reconvergence.
+func (s *Simulator) execBranch(w *warp, pc int, in *ptx.Inst, activeMask, takenMask uint64) {
+	top := &w.stack[len(w.stack)-1]
+	target := s.labels[in.Target]
+	switch takenMask {
+	case activeMask:
+		top.pc = target
+	case 0:
+		top.pc = pc + 1
+	default:
+		rpc, ok := s.reconv[pc]
+		if !ok {
+			rpc = len(s.kernel.Insts)
+		}
+		// Current entry waits at the reconvergence point; push the
+		// fallthrough then the taken path (taken executes first).
+		top.pc = rpc
+		w.stack = append(w.stack,
+			simtEntry{pc: pc + 1, rpc: rpc, mask: activeMask &^ takenMask},
+			simtEntry{pc: target, rpc: rpc, mask: takenMask},
+		)
+	}
+	s.popReconverged(w)
+}
+
+// popReconverged pops stack entries that reached their reconvergence point.
+func (s *Simulator) popReconverged(w *warp) {
+	for len(w.stack) > 1 {
+		top := &w.stack[len(w.stack)-1]
+		if top.pc == top.rpc || top.mask == 0 {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return
+	}
+}
+
+// exitLanes terminates the given lanes across the whole SIMT stack.
+func (s *Simulator) exitLanes(w *warp, mask uint64) {
+	for i := range w.stack {
+		w.stack[i].mask &^= mask
+	}
+	for len(w.stack) > 0 && w.stack[len(w.stack)-1].mask == 0 {
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+	if len(w.stack) == 0 {
+		w.done = true
+		w.block.liveWarps--
+		s.releaseBarrier(w.block)
+		if w.block.liveWarps == 0 {
+			s.retireBlock(w.block)
+		}
+		return
+	}
+	s.popReconverged(w)
+}
+
+// releaseBarrier resumes a block's warps once every live warp arrived.
+func (s *Simulator) releaseBarrier(bc *blockCtx) {
+	if bc.liveWarps == 0 || bc.arrived < bc.liveWarps {
+		return
+	}
+	for _, w := range bc.warps {
+		w.barrier = false
+	}
+	bc.arrived = 0
+}
+
+// execFunctional evaluates a non-memory instruction on all executing lanes.
+func (s *Simulator) execFunctional(w *warp, in *ptx.Inst, execMask uint64) {
+	for l, th := range w.lanes {
+		if execMask&(1<<uint(l)) == 0 {
+			continue
+		}
+		if err := s.execLane(w, th, in); err != nil {
+			panic(fmt.Sprintf("gpusim: %s at %s: %v", s.kernel.Name, ptx.FormatInst(s.kernel, w.stack[len(w.stack)-1].pc), err))
+		}
+	}
+}
+
+// operand evaluates a source operand for one thread at the given type.
+func (s *Simulator) operand(w *warp, th *thread, o ptx.Operand, t ptx.Type) uint64 {
+	switch o.Kind {
+	case ptx.OperandReg:
+		return th.regs[o.Reg]
+	case ptx.OperandImm, ptx.OperandFImm:
+		return immBits(o, t)
+	case ptx.OperandSpecial:
+		return uint64(s.special(w, th, o.Spec))
+	case ptx.OperandSym:
+		// Address-of a shared/local array (space-relative).
+		if a, ok := s.kernel.Array(o.Sym); ok {
+			return s.symValue(o.Sym, a.Space)
+		}
+		return s.symValue(o.Sym, ptx.SpaceParam)
+	}
+	return 0
+}
+
+// special evaluates a special register for one thread.
+func (s *Simulator) special(w *warp, th *thread, sp ptx.Special) int {
+	switch sp {
+	case ptx.SpecTidX:
+		return th.tid
+	case ptx.SpecNTidX:
+		return s.launch.Block
+	case ptx.SpecCtaIdX:
+		return w.block.id
+	case ptx.SpecNCtaIdX:
+		return s.launch.Grid
+	case ptx.SpecLaneId:
+		return th.tid % s.cfg.WarpSize
+	case ptx.SpecWarpId:
+		return th.tid / s.cfg.WarpSize
+	case ptx.SpecTidY, ptx.SpecTidZ, ptx.SpecCtaIdY, ptx.SpecCtaIdZ:
+		return 0
+	case ptx.SpecNTidY, ptx.SpecNTidZ, ptx.SpecNCtaIdY, ptx.SpecNCtaIdZ:
+		return 1
+	}
+	return 0
+}
+
+// execLane evaluates one non-memory instruction for one thread.
+func (s *Simulator) execLane(w *warp, th *thread, in *ptx.Inst) error {
+	get := func(i int) uint64 {
+		return s.operand(w, th, in.Srcs[i], in.Type)
+	}
+	switch in.Op {
+	case ptx.OpSetp:
+		ok, err := compare(in.Cmp, in.Type, get(0), get(1))
+		if err != nil {
+			return err
+		}
+		v := uint64(0)
+		if ok {
+			v = 1
+		}
+		th.regs[in.Dst.Reg] = v
+		return nil
+	case ptx.OpSelp:
+		p := th.regs[in.Srcs[2].Reg] != 0
+		if p {
+			th.regs[in.Dst.Reg] = get(0)
+		} else {
+			th.regs[in.Dst.Reg] = get(1)
+		}
+		return nil
+	case ptx.OpCvt:
+		v, err := convert(in.Type, in.CvtFrom, s.operand(w, th, in.Srcs[0], in.CvtFrom))
+		if err != nil {
+			return err
+		}
+		th.regs[in.Dst.Reg] = v
+		return nil
+	case ptx.OpLd: // ld.param only reaches here
+		addr := s.resolveAddr(th, in.Srcs[0], in.Space)
+		v := uint64(0)
+		for b := 0; b < in.Type.Bytes(); b++ {
+			if int(addr)+b < len(s.paramBlock) {
+				v |= uint64(s.paramBlock[int(addr)+b]) << (8 * b)
+			}
+		}
+		th.regs[in.Dst.Reg] = v
+		return nil
+	}
+	var a, b, c uint64
+	if len(in.Srcs) > 0 {
+		a = get(0)
+	}
+	if len(in.Srcs) > 1 {
+		b = get(1)
+	}
+	if len(in.Srcs) > 2 {
+		c = get(2)
+	}
+	v, err := alu(in.Op, in.Type, a, b, c)
+	if err != nil {
+		return err
+	}
+	th.regs[in.Dst.Reg] = v
+	return nil
+}
+
+// execMemory performs a global/local/shared load or store: functional
+// effects now, returning the latency until the destination is ready and
+// whether it counts as a memory dependence.
+func (s *Simulator) execMemory(w *warp, in *ptx.Inst, execMask uint64) (int64, bool) {
+	top := &w.stack[len(w.stack)-1]
+	plan := s.planFor(w, top.pc, in)
+	w.hasPlan = false // consumed; loops must not reuse stale addresses
+
+	// Functional access per lane.
+	mem := in.Dst
+	if in.Op == ptx.OpLd {
+		mem = in.Srcs[0]
+	}
+	size := in.Type.Bytes()
+	for l, th := range w.lanes {
+		if execMask&(1<<uint(l)) == 0 {
+			continue
+		}
+		addr := s.resolveAddr(th, mem, in.Space)
+		switch in.Space {
+		case ptx.SpaceGlobal:
+			if in.Op == ptx.OpLd {
+				th.regs[in.Dst.Reg] = s.mem.Read(addr, size)
+				s.stats.GlobalLoads++
+			} else {
+				s.mem.Write(addr, s.operand(w, th, in.Srcs[0], in.Type), size)
+				s.stats.GlobalStores++
+			}
+		case ptx.SpaceLocal:
+			th.local = growTo(th.local, int(addr)+size)
+			if in.Op == ptx.OpLd {
+				th.regs[in.Dst.Reg] = readLE(th.local[addr:], size)
+				s.stats.LocalLoads++
+			} else {
+				writeLE(th.local[addr:], s.operand(w, th, in.Srcs[0], in.Type), size)
+				s.stats.LocalStores++
+			}
+		case ptx.SpaceShared:
+			w.block.shared = growTo(w.block.shared, int(addr)+size)
+			if in.Op == ptx.OpLd {
+				th.regs[in.Dst.Reg] = readLE(w.block.shared[addr:], size)
+				s.stats.SharedLoads++
+			} else {
+				writeLE(w.block.shared[addr:], s.operand(w, th, in.Srcs[0], in.Type), size)
+				s.stats.SharedStores++
+			}
+		}
+	}
+
+	// Timing.
+	switch in.Space {
+	case ptx.SpaceShared:
+		extra := int64(plan.conflicts - 1)
+		s.stats.BankConflictCycles += extra
+		s.memPipeFree = s.now + 1 + extra
+		return int64(s.cfg.SharedLat) + 2*extra, false
+	case ptx.SpaceGlobal:
+		if in.Op == ptx.OpSt {
+			// Write-through, no-allocate: consume bandwidth, evict from L1.
+			for _, line := range plan.lines {
+				s.l1.evict(line)
+			}
+			s.chargeDRAM(plan.bytes)
+			s.memPipeFree = s.now + int64(len(plan.lines))
+			return int64(s.cfg.ALULat), false
+		}
+		if in.Bypass {
+			// ld.global.cg: skip the L1, fetch straight from L2/DRAM.
+			worst := int64(s.cfg.L2Lat)
+			for _, line := range plan.lines {
+				done := s.fillFromL2(line)
+				if d := done - s.now; d > worst {
+					worst = d
+				}
+			}
+			s.memPipeFree = s.now + int64(len(plan.lines))
+			s.stats.BypassLoads += int64(len(plan.lines))
+			return worst, true
+		}
+		return s.accessCached(plan), true
+	case ptx.SpaceLocal:
+		// Local loads and stores both allocate in L1 (write-back).
+		lat := s.accessCached(plan)
+		if in.Op == ptx.OpSt {
+			return int64(s.cfg.ALULat), false
+		}
+		return lat, true
+	}
+	return int64(s.cfg.ALULat), false
+}
+
+// accessCached sends the plan's lines through L1 -> L2 -> DRAM and returns
+// the cycles until the last fill (relative to now).
+func (s *Simulator) accessCached(plan *memPlan) int64 {
+	worst := int64(s.cfg.L1HitLat)
+	for _, line := range plan.lines {
+		s.stats.L1Accesses++
+		hit, pending := s.l1.probe(line)
+		if hit {
+			s.l1.access(line, s.now, 0)
+			s.stats.L1Hits++
+			continue
+		}
+		s.stats.L1Misses++
+		var ready int64
+		if pending {
+			// Merge with the in-flight fill: no new MSHR, no new traffic.
+			_, ready = s.l1.access(line, s.now, 0)
+		} else {
+			fillDone := s.fillFromL2(line)
+			_, ready = s.l1.access(line, s.now, fillDone)
+		}
+		if d := ready - s.now + int64(s.cfg.L1HitLat); d > worst {
+			worst = d
+		}
+	}
+	s.memPipeFree = s.now + int64(len(plan.lines))
+	return worst
+}
+
+// fillFromL2 models an L1 miss: L2 lookup, then DRAM with bandwidth
+// queueing. Returns the absolute completion cycle.
+func (s *Simulator) fillFromL2(line uint64) int64 {
+	s.stats.L2Accesses++
+	if hit, _ := s.l2.probe(line); hit {
+		s.l2.access(line, s.now, 0)
+		s.stats.L2Hits++
+		return s.now + int64(s.cfg.L2Lat)
+	}
+	// DRAM: latency plus serialized transfer of one line.
+	transfer := int64(float64(s.cfg.L1.LineBytes) / s.cfg.DRAMBytesPerCycle)
+	if transfer < 1 {
+		transfer = 1
+	}
+	start := s.now + int64(s.cfg.L2Lat) + int64(s.cfg.DRAMLat)
+	if s.dramFree > start {
+		start = s.dramFree
+	}
+	done := start + transfer
+	s.dramFree = done
+	s.stats.DRAMBytes += int64(s.cfg.L1.LineBytes)
+	s.l2.insert(line, s.now)
+	return done
+}
+
+// chargeDRAM consumes write bandwidth.
+func (s *Simulator) chargeDRAM(bytes int64) {
+	transfer := int64(float64(bytes) / s.cfg.DRAMBytesPerCycle)
+	if transfer < 1 {
+		transfer = 1
+	}
+	if s.dramFree < s.now {
+		s.dramFree = s.now
+	}
+	s.dramFree += transfer
+	s.stats.DRAMBytes += bytes
+}
+
+func growTo(b []byte, n int) []byte {
+	if len(b) >= n {
+		return b
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+func readLE(b []byte, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func writeLE(b []byte, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

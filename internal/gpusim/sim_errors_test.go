@@ -1,0 +1,249 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+
+	"crat/internal/ptx"
+)
+
+func trivialKernel() *ptx.Kernel {
+	b := ptx.NewBuilder("t")
+	b.Param("out", ptx.U64)
+	b.Exit()
+	return b.Kernel()
+}
+
+func TestNewSimulatorRejectsBadLaunches(t *testing.T) {
+	mem := NewMemory()
+	k := trivialKernel()
+	cases := []struct {
+		name   string
+		launch Launch
+		want   string
+	}{
+		{"param count", Launch{Kernel: k, Grid: 1, Block: 32, Params: nil}, "param"},
+		{"zero grid", Launch{Kernel: k, Grid: 0, Block: 32, Params: []uint64{0}}, "grid"},
+		{"zero block", Launch{Kernel: k, Grid: 1, Block: 0, Params: []uint64{0}}, "block"},
+		{"oversized block", Launch{Kernel: k, Grid: 1, Block: 4096, Params: []uint64{0}}, "does not fit"},
+		{"register overflow", Launch{Kernel: k, Grid: 1, Block: 512, Params: []uint64{0}, RegsPerThread: 500}, "does not fit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSimulator(FermiConfig(), mem, tc.launch)
+			if err == nil {
+				t.Fatal("launch accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewSimulatorRejectsInvalidKernel(t *testing.T) {
+	b := ptx.NewBuilder("bad")
+	b.Bra("NOWHERE")
+	_, err := NewSimulator(FermiConfig(), NewMemory(), Launch{
+		Kernel: b.Kernel(), Grid: 1, Block: 32,
+	})
+	if err == nil {
+		t.Fatal("invalid kernel accepted")
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	// An infinite loop must trip the cycle guard instead of hanging.
+	b := ptx.NewBuilder("spin")
+	b.Param("out", ptx.U64)
+	r := b.Reg(ptx.U32)
+	b.Label("LOOP").Add(ptx.U32, r, ptx.R(r), ptx.Imm(1))
+	b.Bra("LOOP")
+	cfg := FermiConfig()
+	cfg.MaxCycles = 10000
+	sim, err := NewSimulator(cfg, NewMemory(), Launch{
+		Kernel: b.Kernel(), Grid: 1, Block: 32, Params: []uint64{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err == nil {
+		t.Fatal("livelock not detected")
+	}
+}
+
+func TestMemoryAllocAlignmentAndSeparation(t *testing.T) {
+	m := NewMemory()
+	a := m.Alloc(100)
+	b := m.Alloc(100)
+	if a%256 != 0 || b%256 != 0 {
+		t.Errorf("allocations not 256-aligned: %x %x", a, b)
+	}
+	if b < a+100 {
+		t.Errorf("allocations overlap: %x %x", a, b)
+	}
+	if a == 0 {
+		t.Error("allocation at null")
+	}
+	// Writes to one must not clobber the other.
+	m.WriteUint32(a, 1)
+	m.WriteUint32(b, 2)
+	if m.ReadUint32(a) != 1 || m.ReadUint32(b) != 2 {
+		t.Error("allocations alias")
+	}
+}
+
+func TestLdParamScalarWidths(t *testing.T) {
+	// A u32 scalar parameter must read back exactly, independent of
+	// neighbouring u64 params (alignment).
+	b := ptx.NewBuilder("params")
+	b.Param("out", ptx.U64).Param("n", ptx.U32).Param("m", ptx.U64)
+	po := b.Reg(ptx.U64)
+	n := b.Reg(ptx.U32)
+	mv := b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, po, "out")
+	b.LdParam(ptx.U32, n, "n")
+	b.LdParam(ptx.U64, mv, "m")
+	sum := b.Reg(ptx.U64)
+	wide := b.Reg(ptx.U64)
+	b.Cvt(ptx.U64, ptx.U32, wide, ptx.R(n))
+	b.Add(ptx.U64, sum, ptx.R(wide), ptx.R(mv))
+	b.St(ptx.SpaceGlobal, ptx.U64, ptx.MemReg(po, 0), ptx.R(sum))
+	b.Exit()
+
+	mem := NewMemory()
+	out := mem.Alloc(8)
+	sim, err := NewSimulator(FermiConfig(), mem, Launch{
+		Kernel: b.Kernel(), Grid: 1, Block: 32,
+		Params: []uint64{out, 0xabcd1234, 0x1_0000_0000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(0xabcd1234) + 0x1_0000_0000
+	if got := mem.ReadUint64(out); got != want {
+		t.Errorf("param sum = %x, want %x", got, want)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Cycles: 100, WarpInsts: 50, L1Accesses: 10, L1Hits: 5, ConcurrentBlocks: 3}
+	str := s.String()
+	for _, want := range []string{"cycles=100", "ipc=0.500", "l1hit=0.500", "tlp=3"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("Stats.String() = %q, missing %q", str, want)
+		}
+	}
+}
+
+func TestOccupancyEdgeCases(t *testing.T) {
+	c := FermiConfig()
+	if got := c.Occupancy(0, 0, 128); got != 8 {
+		t.Errorf("zero regs should not limit: %d", got)
+	}
+	if got := c.Occupancy(20, 64*1024, 128); got != 0 {
+		t.Errorf("over per-block shared cap should not fit: %d", got)
+	}
+	if got := c.Occupancy(20, 0, 0); got != 0 {
+		t.Errorf("zero block size: %d", got)
+	}
+	if got := c.Occupancy(20, 48*1024, 128); got != 1 {
+		t.Errorf("exactly one block by shared: %d", got)
+	}
+}
+
+func TestEnergyComponents(t *testing.T) {
+	m := DefaultEnergyModel()
+	cfg := FermiConfig()
+	base := Stats{Cycles: 1000}
+	e0 := m.Energy(cfg, base)
+	withInsts := base
+	withInsts.ThreadInsts = 1_000_000
+	withDram := base
+	withDram.DRAMBytes = 1 << 20
+	if m.Energy(cfg, withInsts) <= e0 {
+		t.Error("thread instructions add no energy")
+	}
+	if m.Energy(cfg, withDram) <= e0 {
+		t.Error("DRAM traffic adds no energy")
+	}
+	// DRAM per byte must dominate ALU per op (ordering sanity).
+	if m.DRAMPerByte <= m.ALUPerThreadOp {
+		t.Error("energy ordering violated: DRAM should dominate ALU")
+	}
+}
+
+func TestIssueTrace(t *testing.T) {
+	var buf strings.Builder
+	mem := NewMemory()
+	out := mem.Alloc(4 * 32)
+	b := ptx.NewBuilder("traced")
+	b.Param("out", ptx.U64)
+	po := b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, po, "out")
+	tid := b.Reg(ptx.U32)
+	b.MovSpec(tid, ptx.SpecTidX)
+	oa := b.AddrOf(po, tid, 4)
+	b.St(ptx.SpaceGlobal, ptx.U32, ptx.MemReg(oa, 0), ptx.R(tid))
+	b.Exit()
+	sim, err := NewSimulator(FermiConfig(), mem, Launch{
+		Kernel: b.Kernel(), Grid: 1, Block: 32,
+		Params: []uint64{out}, Trace: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	trace := buf.String()
+	for _, want := range []string{"mov.u32", "st.global.u32", "exit", "w000 b000"} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+	lines := strings.Count(trace, "\n")
+	if lines != 7 { // ld.param, mov, cvt, mul, add, st, exit
+		t.Errorf("trace has %d lines, want 7", lines)
+	}
+}
+
+func TestSchedulerPolicyFunctionalEquivalence(t *testing.T) {
+	// GTO and LRR order issue differently but must compute identical
+	// results (no data races in the programming model we support).
+	run := func(pol SchedPolicy) []uint32 {
+		cfg := FermiConfig()
+		cfg.Scheduler = pol
+		mem := NewMemory()
+		data := mem.Alloc(4 * 2048 * 4)
+		out := mem.Alloc(4 * 64 * 4)
+		for i := 0; i < 2048*4; i++ {
+			mem.WriteFloat32(data+uint64(4*i), float32(i%11))
+		}
+		sim, err := NewSimulator(cfg, mem, Launch{
+			Kernel: tiledKernel(2048, 3, 64), Grid: 4, Block: 64,
+			Params: []uint64{data, out},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		res := make([]uint32, 64*4)
+		for i := range res {
+			res[i] = mem.ReadUint32(out + uint64(4*i))
+		}
+		return res
+	}
+	gto := run(SchedGTO)
+	lrr := run(SchedLRR)
+	for i := range gto {
+		if gto[i] != lrr[i] {
+			t.Fatalf("results differ across schedulers at %d: %x vs %x", i, gto[i], lrr[i])
+		}
+	}
+}

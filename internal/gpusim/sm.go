@@ -1,0 +1,582 @@
+package gpusim
+
+import (
+	"fmt"
+	"io"
+
+	"crat/internal/cfg"
+	"crat/internal/ptx"
+)
+
+// localBase is the synthetic physical-address region of thread-local
+// (spill) memory, interleaved by thread so same-offset accesses from a warp
+// coalesce — mirroring how hardware lays out local memory.
+const localBase = uint64(1) << 40
+
+// Launch describes one kernel launch on the simulated SM.
+type Launch struct {
+	Kernel *ptx.Kernel
+	// Grid is the number of thread blocks; Block the threads per block.
+	Grid, Block int
+	// Params holds one raw value per kernel parameter (pointers as
+	// addresses in the supplied Memory, scalars as their bit patterns).
+	Params []uint64
+	// TLPLimit throttles the number of concurrently resident blocks
+	// (0 = hardware maximum): the thread-throttling knob.
+	TLPLimit int
+	// RegsPerThread overrides the per-thread register usage used for
+	// occupancy (0 = derive from the kernel's declared registers).
+	RegsPerThread int
+	// ExtraSharedBytes adds per-block shared memory beyond the kernel's
+	// declarations (the "dummy array" TLP-throttling trick of paper §1).
+	ExtraSharedBytes int64
+	// Trace, when non-nil, receives one line per issued warp instruction
+	// (cycle, warp, block, pc, disassembly) — a debugging aid.
+	Trace io.Writer
+}
+
+// derivedRegs counts 32-bit register slots declared by the kernel.
+func (l Launch) derivedRegs() int {
+	if l.RegsPerThread > 0 {
+		return l.RegsPerThread
+	}
+	n32, n64, _ := l.Kernel.RegCounts()
+	return n32 + 2*n64
+}
+
+type stallReason uint8
+
+const (
+	stallNone stallReason = iota
+	stallCongestion
+	stallMemData
+	stallALU
+	stallBarrier
+	stallEmpty
+)
+
+type simtEntry struct {
+	pc   int
+	rpc  int
+	mask uint64
+}
+
+type thread struct {
+	regs  []uint64
+	local []byte
+	tid   int
+}
+
+type blockCtx struct {
+	id        int
+	slot      int
+	shared    []byte
+	warps     []*warp
+	liveWarps int
+	arrived   int
+}
+
+type memPlan struct {
+	pc        int
+	lines     []uint64 // unique L1 line addresses (global/local)
+	words     []uint64 // unique shared-memory words (bank-conflict model)
+	conflicts int      // shared-memory bank serialization degree
+	bytes     int64
+}
+
+type warp struct {
+	id      int
+	sched   int
+	block   *blockCtx
+	lanes   []*thread
+	stack   []simtEntry
+	done    bool
+	barrier bool
+
+	regReady   []int64
+	readyIsMem []bool
+
+	plan    memPlan
+	hasPlan bool
+}
+
+// Simulator executes one kernel launch on one SM.
+type Simulator struct {
+	cfg    Config
+	mem    *Memory
+	launch Launch
+	kernel *ptx.Kernel
+
+	paramBlock []byte
+	reconv     map[int]int
+	labels     map[string]int
+
+	now         int64
+	l1          *cache
+	l2          *cache
+	dramFree    int64
+	memPipeFree int64
+
+	blocks     []*blockCtx
+	nextBlock  int
+	warps      []*warp
+	schedWarps [][]*warp // per-scheduler warp lists (launch order)
+	warpSeq    int
+	current    []*warp // per-scheduler greedy warp (GTO), nil when none
+	lrrNext    []int   // per-scheduler round-robin cursor
+
+	maxConc int
+	stats   Stats
+}
+
+// NewSimulator prepares a launch. The kernel must validate; the number of
+// parameter values must match the kernel's parameter list.
+func NewSimulator(cfg Config, mem *Memory, launch Launch) (*Simulator, error) {
+	k := launch.Kernel
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("gpusim: %w", err)
+	}
+	if len(launch.Params) != len(k.Params) {
+		return nil, fmt.Errorf("gpusim: %d param values for %d params", len(launch.Params), len(k.Params))
+	}
+	if launch.Grid <= 0 || launch.Block <= 0 {
+		return nil, fmt.Errorf("gpusim: grid=%d block=%d must be positive", launch.Grid, launch.Block)
+	}
+	g, err := cfg2(k)
+	if err != nil {
+		return nil, err
+	}
+
+	shm := k.SharedBytes() + launch.ExtraSharedBytes
+	regs := launch.derivedRegs()
+	conc := cfg.Occupancy(regs, shm, launch.Block)
+	if conc == 0 {
+		return nil, fmt.Errorf("gpusim: launch does not fit on SM (regs=%d shm=%d block=%d)", regs, shm, launch.Block)
+	}
+	if launch.TLPLimit > 0 && launch.TLPLimit < conc {
+		conc = launch.TLPLimit
+	}
+
+	s := &Simulator{
+		cfg:        cfg,
+		mem:        mem,
+		launch:     launch,
+		kernel:     k,
+		reconv:     g.ReconvergencePoints(),
+		labels:     make(map[string]int),
+		l1:         newCache(cfg.L1),
+		l2:         newCache(cfg.L2),
+		maxConc:    conc,
+		current:    make([]*warp, cfg.NumSchedulers),
+		lrrNext:    make([]int, cfg.NumSchedulers),
+		schedWarps: make([][]*warp, cfg.NumSchedulers),
+	}
+	for i := range k.Insts {
+		if l := k.Insts[i].Label; l != "" {
+			s.labels[l] = i
+		}
+	}
+	s.paramBlock = buildParamBlock(k, launch.Params)
+	s.stats.RegsPerThread = regs
+	s.stats.SharedPerBlock = shm
+	s.stats.ConcurrentBlocks = conc
+	if launch.Grid < conc {
+		s.stats.ConcurrentBlocks = launch.Grid
+	}
+	return s, nil
+}
+
+func cfg2(k *ptx.Kernel) (*cfg.Graph, error) { return cfg.Build(k) }
+
+func buildParamBlock(k *ptx.Kernel, vals []uint64) []byte {
+	size := int64(0)
+	for _, p := range k.Params {
+		off, _ := k.ParamOffset(p.Name)
+		end := off + int64(p.Type.Bytes())
+		if end > size {
+			size = end
+		}
+	}
+	out := make([]byte, size)
+	for i, p := range k.Params {
+		off, _ := k.ParamOffset(p.Name)
+		v := vals[i]
+		for b := 0; b < p.Type.Bytes(); b++ {
+			out[off+int64(b)] = byte(v >> (8 * b))
+		}
+	}
+	return out
+}
+
+// Run simulates until every block of the grid has completed and returns the
+// collected statistics.
+func (s *Simulator) Run() (Stats, error) {
+	for s.nextBlock < s.launch.Grid && len(s.blocks) < s.maxConc {
+		s.launchBlock()
+	}
+	maxCycles := s.cfg.maxCycles()
+	for s.stats.BlocksCompleted < int64(s.launch.Grid) {
+		if s.now >= maxCycles {
+			return s.stats, fmt.Errorf("gpusim: exceeded %d cycles (livelock?)", maxCycles)
+		}
+		s.step()
+	}
+	s.stats.Cycles = s.now
+	s.stats.L1DistinctLines = int64(len(s.l1.seen))
+	return s.stats, nil
+}
+
+// launchBlock makes the next grid block resident.
+func (s *Simulator) launchBlock() {
+	id := s.nextBlock
+	s.nextBlock++
+	slot := -1
+	used := make(map[int]bool)
+	for _, b := range s.blocks {
+		used[b.slot] = true
+	}
+	for i := 0; i < s.maxConc; i++ {
+		if !used[i] {
+			slot = i
+			break
+		}
+	}
+	bc := &blockCtx{
+		id:     id,
+		slot:   slot,
+		shared: make([]byte, s.kernel.SharedBytes()+s.launch.ExtraSharedBytes),
+	}
+	nRegs := s.kernel.NumRegs()
+	localSize := s.kernel.LocalBytes()
+	nWarps := (s.launch.Block + s.cfg.WarpSize - 1) / s.cfg.WarpSize
+	for wi := 0; wi < nWarps; wi++ {
+		w := &warp{
+			id:         s.warpSeq,
+			sched:      s.warpSeq % s.cfg.NumSchedulers,
+			block:      bc,
+			regReady:   make([]int64, nRegs),
+			readyIsMem: make([]bool, nRegs),
+		}
+		s.warpSeq++
+		var mask uint64
+		for l := 0; l < s.cfg.WarpSize; l++ {
+			tid := wi*s.cfg.WarpSize + l
+			if tid >= s.launch.Block {
+				break
+			}
+			th := &thread{
+				regs: make([]uint64, nRegs),
+				tid:  tid,
+			}
+			if localSize > 0 {
+				th.local = make([]byte, localSize)
+			}
+			w.lanes = append(w.lanes, th)
+			mask |= 1 << uint(l)
+		}
+		w.stack = []simtEntry{{pc: 0, rpc: len(s.kernel.Insts), mask: mask}}
+		bc.warps = append(bc.warps, w)
+		bc.liveWarps++
+		s.warps = append(s.warps, w)
+		s.schedWarps[w.sched] = append(s.schedWarps[w.sched], w)
+	}
+	s.blocks = append(s.blocks, bc)
+}
+
+// retireBlock removes a finished block and backfills from the grid.
+func (s *Simulator) retireBlock(bc *blockCtx) {
+	for i, b := range s.blocks {
+		if b == bc {
+			s.blocks = append(s.blocks[:i], s.blocks[i+1:]...)
+			break
+		}
+	}
+	// Drop its warps from the scheduler pool.
+	kept := s.warps[:0]
+	for _, w := range s.warps {
+		if w.block != bc {
+			kept = append(kept, w)
+		}
+	}
+	s.warps = kept
+	for sched := range s.schedWarps {
+		ks := s.schedWarps[sched][:0]
+		for _, w := range s.schedWarps[sched] {
+			if w.block != bc {
+				ks = append(ks, w)
+			}
+		}
+		s.schedWarps[sched] = ks
+		s.current[sched] = nil
+		s.lrrNext[sched] = 0
+	}
+	s.stats.BlocksCompleted++
+	if s.nextBlock < s.launch.Grid {
+		s.launchBlock()
+	}
+}
+
+// step advances one cycle: each scheduler issues at most one warp
+// instruction.
+func (s *Simulator) step() {
+	s.l1.expire(s.now)
+	for sched := 0; sched < s.cfg.NumSchedulers; sched++ {
+		s.issueFrom(sched)
+	}
+	s.now++
+}
+
+// issueFrom lets scheduler sched pick and issue one warp. GTO stays on the
+// current warp while it can issue, otherwise falls back to the oldest ready
+// warp; LRR rotates a cursor.
+func (s *Simulator) issueFrom(sched int) {
+	list := s.schedWarps[sched]
+	n := 0
+	for _, w := range list {
+		if !w.done {
+			n++
+		}
+	}
+	if n == 0 {
+		s.stats.StallEmpty++
+		return
+	}
+
+	worst := stallEmpty
+	try := func(w *warp) bool {
+		if w.done {
+			return false
+		}
+		ok, reason := s.canIssue(w)
+		if ok {
+			s.execute(w)
+			s.current[sched] = w
+			s.stats.IssuedSlots++
+			return true
+		}
+		if reason < worst && reason != stallNone {
+			worst = reason
+		}
+		return false
+	}
+
+	if s.cfg.Scheduler == SchedGTO {
+		if cw := s.current[sched]; cw != nil && !cw.done {
+			if try(cw) {
+				return
+			}
+		}
+		for _, w := range list {
+			if w == s.current[sched] {
+				continue
+			}
+			if try(w) {
+				return
+			}
+		}
+	} else {
+		off := s.lrrNext[sched] % len(list)
+		for i := 0; i < len(list); i++ {
+			w := list[(off+i)%len(list)]
+			if try(w) {
+				s.lrrNext[sched] = (off + i + 1) % len(list)
+				return
+			}
+		}
+	}
+
+	switch worst {
+	case stallCongestion:
+		s.stats.StallCongestion++
+	case stallMemData:
+		s.stats.StallMemData++
+	case stallALU:
+		s.stats.StallALU++
+	case stallBarrier:
+		s.stats.StallBarrier++
+	default:
+		s.stats.StallEmpty++
+	}
+	s.current[sched] = nil
+}
+
+// canIssue checks structural and data hazards for the warp's next
+// instruction.
+func (s *Simulator) canIssue(w *warp) (bool, stallReason) {
+	if w.done {
+		return false, stallEmpty
+	}
+	if w.barrier {
+		return false, stallBarrier
+	}
+	top := &w.stack[len(w.stack)-1]
+	if top.pc >= len(s.kernel.Insts) {
+		// Defensive: treat running off the end as exit.
+		return true, stallNone
+	}
+	in := &s.kernel.Insts[top.pc]
+
+	// Scoreboard: all read and written registers must be ready.
+	var buf [8]ptx.Reg
+	uses := in.Uses(buf[:0])
+	memBlocked := false
+	for _, r := range uses {
+		if w.regReady[r] > s.now {
+			if w.readyIsMem[r] {
+				memBlocked = true
+			} else {
+				return false, stallALU
+			}
+		}
+	}
+	if memBlocked {
+		return false, stallMemData
+	}
+	defs := in.Defs(buf[:0])
+	for _, r := range defs {
+		if w.regReady[r] > s.now {
+			if w.readyIsMem[r] {
+				return false, stallMemData
+			}
+			return false, stallALU
+		}
+	}
+
+	if in.Op.IsMemory() && in.Space != ptx.SpaceParam {
+		if s.memPipeFree > s.now {
+			return false, stallCongestion
+		}
+		plan := s.planFor(w, top.pc, in)
+		needsMSHR := in.Space == ptx.SpaceLocal ||
+			(in.Space == ptx.SpaceGlobal && in.Op == ptx.OpLd && !in.Bypass)
+		if needsMSHR {
+			// Count the new misses this access would create; reject when
+			// the MSHR file cannot absorb them.
+			newMisses := 0
+			for _, line := range plan.lines {
+				if hit, pending := s.l1.probe(line); !hit && !pending {
+					newMisses++
+				}
+			}
+			if newMisses > s.l1.freeMSHRs() {
+				return false, stallCongestion
+			}
+		}
+	}
+	return true, stallNone
+}
+
+// planFor computes (and caches) the memory transactions of the instruction
+// at pc for warp w. Buffers are reused across calls to keep the hot path
+// allocation-free.
+func (s *Simulator) planFor(w *warp, pc int, in *ptx.Inst) *memPlan {
+	if w.hasPlan && w.plan.pc == pc {
+		return &w.plan
+	}
+	top := &w.stack[len(w.stack)-1]
+	w.plan.pc = pc
+	w.plan.lines = w.plan.lines[:0]
+	w.plan.words = w.plan.words[:0]
+	w.plan.conflicts = 0
+	w.plan.bytes = 0
+	plan := &w.plan
+	size := in.Type.Bytes()
+
+	addLine := func(line uint64) {
+		for _, l := range plan.lines {
+			if l == line {
+				return
+			}
+		}
+		plan.lines = append(plan.lines, line)
+	}
+	addWord := func(word uint64) {
+		for _, x := range plan.words {
+			if x == word {
+				return
+			}
+		}
+		plan.words = append(plan.words, word)
+	}
+
+	mem := in.Dst
+	if in.Op == ptx.OpLd {
+		mem = in.Srcs[0]
+	}
+	for l, th := range w.lanes {
+		if top.mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		if in.Guard != ptx.NoReg {
+			p := th.regs[in.Guard] != 0
+			if p == in.GuardNeg {
+				continue
+			}
+		}
+		addr := s.resolveAddr(th, mem, in.Space)
+		plan.bytes += int64(size)
+		switch in.Space {
+		case ptx.SpaceGlobal:
+			for b := uint64(0); b < uint64(size); b += 4 {
+				addLine(s.l1.lineAddr(addr + b))
+			}
+		case ptx.SpaceLocal:
+			// Interleaved physical layout: word w of thread t lives at
+			// localBase + (w*MaxThreads + slotThread)*4.
+			slotThread := uint64(w.block.slot*s.launch.Block + th.tid)
+			for b := uint64(0); b < uint64(size); b += 4 {
+				word := (addr + b) / 4
+				phys := localBase + (word*uint64(s.cfg.MaxThreadsPerSM)+slotThread)*4
+				addLine(s.l1.lineAddr(phys))
+			}
+		case ptx.SpaceShared:
+			for b := uint64(0); b < uint64(size); b += 4 {
+				addWord((addr + b) / 4)
+			}
+		}
+	}
+	if len(plan.words) > 0 {
+		var perBank [32]int
+		for _, word := range plan.words {
+			perBank[word%32]++
+		}
+		for _, c := range perBank {
+			if c > plan.conflicts {
+				plan.conflicts = c
+			}
+		}
+	}
+	if plan.conflicts == 0 {
+		plan.conflicts = 1
+	}
+	w.hasPlan = true
+	return plan
+}
+
+// resolveAddr computes the effective (space-relative) address of a memory
+// operand for one thread.
+func (s *Simulator) resolveAddr(th *thread, mem ptx.Operand, space ptx.Space) uint64 {
+	var base uint64
+	switch {
+	case mem.Reg != ptx.NoReg:
+		base = th.regs[mem.Reg]
+	case mem.Sym != "":
+		base = s.symValue(mem.Sym, space)
+	}
+	return base + uint64(mem.Off)
+}
+
+// symValue resolves an array or parameter symbol to its space-relative
+// address.
+func (s *Simulator) symValue(sym string, space ptx.Space) uint64 {
+	if space == ptx.SpaceParam {
+		off, _ := s.kernel.ParamOffset(sym)
+		return uint64(off)
+	}
+	off, ok := s.kernel.ArrayOffset(sym)
+	if ok {
+		return uint64(off)
+	}
+	poff, _ := s.kernel.ParamOffset(sym)
+	return uint64(poff)
+}

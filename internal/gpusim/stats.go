@@ -1,0 +1,91 @@
+package gpusim
+
+import "fmt"
+
+// Stats aggregates the measurements of one simulation run.
+type Stats struct {
+	Cycles      int64
+	WarpInsts   int64 // warp-level instructions issued
+	ThreadInsts int64 // thread-level instructions executed
+
+	// L1 data cache (global loads + local loads/stores).
+	L1Accesses int64
+	L1Hits     int64
+	L1Misses   int64
+	// L1DistinctLines counts distinct cache lines ever brought into L1:
+	// the aggregate footprint (feeds the static OptTLP estimator).
+	L1DistinctLines int64
+	// L2 slice.
+	L2Accesses int64
+	L2Hits     int64
+	// DRAM traffic in bytes (fills + write-throughs).
+	DRAMBytes int64
+	// BypassLoads counts L1-bypassed (ld.global.cg) transactions.
+	BypassLoads int64
+
+	// Scheduler stall taxonomy, in scheduler-cycles (one slot per
+	// scheduler per cycle). Congestion is the paper's "pipeline stall
+	// caused by the congestion of cache requests" (Figures 3 and 5b).
+	IssuedSlots     int64
+	StallCongestion int64
+	StallMemData    int64
+	StallALU        int64
+	StallBarrier    int64
+	StallEmpty      int64
+
+	// Dynamic memory operation counts (thread granularity).
+	GlobalLoads  int64
+	GlobalStores int64
+	LocalLoads   int64
+	LocalStores  int64
+	SharedLoads  int64
+	SharedStores int64
+
+	// Dynamic spill-tagged instruction counts (thread granularity).
+	SpillLocalOps  int64
+	SpillSharedOps int64
+	SpillAddrOps   int64
+
+	// Shared-memory bank conflict extra cycles.
+	BankConflictCycles int64
+
+	// Launch shape.
+	BlocksCompleted  int64
+	ConcurrentBlocks int // achieved TLP (resident blocks at steady state)
+	RegsPerThread    int
+	SharedPerBlock   int64
+}
+
+// IPC returns warp instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.WarpInsts) / float64(s.Cycles)
+}
+
+// L1HitRate returns the L1 data cache hit fraction.
+func (s Stats) L1HitRate() float64 {
+	if s.L1Accesses == 0 {
+		return 0
+	}
+	return float64(s.L1Hits) / float64(s.L1Accesses)
+}
+
+// L2HitRate returns the L2 slice hit fraction.
+func (s Stats) L2HitRate() float64 {
+	if s.L2Accesses == 0 {
+		return 0
+	}
+	return float64(s.L2Hits) / float64(s.L2Accesses)
+}
+
+// LocalOps returns dynamic local-memory operations (the paper's
+// local-memory access metric, Figure 16).
+func (s Stats) LocalOps() int64 { return s.LocalLoads + s.LocalStores }
+
+// String renders a compact single-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d ipc=%.3f l1hit=%.3f congest=%d local=%d tlp=%d",
+		s.Cycles, s.IPC(), s.L1HitRate(), s.StallCongestion, s.LocalOps(), s.ConcurrentBlocks)
+}

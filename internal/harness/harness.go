@@ -1,0 +1,183 @@
+// Package harness regenerates every table and figure of the CRAT paper's
+// evaluation (§7). Each Figure*/Table* function runs the required
+// simulations and returns text tables whose rows mirror what the paper
+// plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"crat/internal/core"
+	"crat/internal/gpusim"
+	"crat/internal/workloads"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // e.g. "fig13"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Geomean returns the geometric mean of vs (1.0 for empty input).
+func Geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// Session caches per-app analyses, profiling runs, and mode evaluations so
+// the figures that share inputs (13-16, energy) do not re-simulate.
+type Session struct {
+	Arch  gpusim.Config
+	Costs gpusim.Costs
+
+	apps     map[string]core.App
+	analyses map[string]*core.Analysis
+	optRuns  map[string][]gpusim.Stats
+	modeRes  map[string]modeResult
+	// Elapsed accumulates profiling wall-clock for the overhead report.
+	ProfileWall time.Duration
+}
+
+type modeResult struct {
+	stats    gpusim.Stats
+	decision *core.Decision
+}
+
+// NewSession prepares a session for the architecture, measuring the
+// microbenchmark costs once.
+func NewSession(arch gpusim.Config) (*Session, error) {
+	costs, err := gpusim.MeasureCosts(arch)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		Arch:     arch,
+		Costs:    costs,
+		apps:     make(map[string]core.App),
+		analyses: make(map[string]*core.Analysis),
+		optRuns:  make(map[string][]gpusim.Stats),
+		modeRes:  make(map[string]modeResult),
+	}, nil
+}
+
+// App returns the materialized app for a profile, cached.
+func (s *Session) App(p workloads.Profile) core.App {
+	if a, ok := s.apps[p.Abbr]; ok {
+		return a
+	}
+	a := p.App()
+	s.apps[p.Abbr] = a
+	return a
+}
+
+// Analysis returns the app's analysis with OptTLP profiled, plus the per-TLP
+// profiling runs (cached).
+func (s *Session) Analysis(p workloads.Profile) (*core.Analysis, []gpusim.Stats, error) {
+	if a, ok := s.analyses[p.Abbr]; ok {
+		return a, s.optRuns[p.Abbr], nil
+	}
+	app := s.App(p)
+	a, err := core.Analyze(app, s.Arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	opt, runs, err := core.ProfileOptTLP(app, s.Arch, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.ProfileWall += time.Since(start)
+	a.OptTLP = opt
+	s.analyses[p.Abbr] = a
+	s.optRuns[p.Abbr] = runs
+	return a, runs, nil
+}
+
+// Mode evaluates one §7.2 comparison mode for the app (cached). The OptTLP
+// comes from the session's profiled analysis, so modes share it.
+func (s *Session) Mode(p workloads.Profile, mode core.Mode) (gpusim.Stats, *core.Decision, error) {
+	key := p.Abbr + "/" + mode.String()
+	if r, ok := s.modeRes[key]; ok {
+		return r.stats, r.decision, nil
+	}
+	a, _, err := s.Analysis(p)
+	if err != nil {
+		return gpusim.Stats{}, nil, err
+	}
+	opts := core.Options{Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs}
+	st, d, err := core.RunMode(s.App(p), mode, opts)
+	if err != nil {
+		return gpusim.Stats{}, nil, err
+	}
+	s.modeRes[key] = modeResult{st, d}
+	return st, d, nil
+}
+
+// Speedup returns mode-vs-OptTLP speedup for the app.
+func (s *Session) Speedup(p workloads.Profile, mode core.Mode) (float64, error) {
+	base, _, err := s.Mode(p, core.ModeOptTLP)
+	if err != nil {
+		return 0, err
+	}
+	st, _, err := s.Mode(p, mode)
+	if err != nil {
+		return 0, err
+	}
+	return float64(base.Cycles) / float64(st.Cycles), nil
+}

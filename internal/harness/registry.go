@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"crat/internal/gpusim"
+)
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(s *Session) ([]*Table, error)
+	Arch string // "fermi" (default) or "kepler"
+}
+
+// one wraps a single-table runner.
+func one(f func(s *Session) (*Table, error)) func(s *Session) ([]*Table, error) {
+	return func(s *Session) ([]*Table, error) {
+		t, err := f(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}
+}
+
+// Experiments returns the registry of every table/figure runner, keyed as
+// in DESIGN.md's per-experiment index.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table1", Desc: "collected resource parameters", Run: one((*Session).Table1)},
+		{ID: "table2", Desc: "simulated configuration", Run: func(s *Session) ([]*Table, error) { return []*Table{s.Table2()}, nil }},
+		{ID: "table3", Desc: "application list", Run: func(s *Session) ([]*Table, error) { return []*Table{Table3()}, nil }},
+		{ID: "fig1", Desc: "thread throttling benefit and register waste", Run: one((*Session).Figure1)},
+		{ID: "fig2", Desc: "CFD design space sweep", Run: one((*Session).Figure2)},
+		{ID: "fig3", Desc: "CFD selected design points", Run: one((*Session).Figure3)},
+		{ID: "fig5", Desc: "throttling impact on L1", Run: one((*Session).Figure5)},
+		{ID: "fig6", Desc: "register per-thread impact (CFD)", Run: one((*Session).Figure6)},
+		{ID: "fig7", Desc: "register vs shared memory utilization", Run: one((*Session).Figure7)},
+		{ID: "fig8", Desc: "FDTD spill-choice exploration", Run: one((*Session).Figure8)},
+		{ID: "fig12", Desc: "spill-volume cross-validation", Run: one((*Session).Figure12)},
+		{ID: "fig13", Desc: "headline performance comparison", Run: one((*Session).Figure13)},
+		{ID: "fig14", Desc: "selected TLP", Run: one((*Session).Figure14)},
+		{ID: "fig15", Desc: "register utilization", Run: one((*Session).Figure15)},
+		{ID: "fig16", Desc: "local memory access reduction", Run: one((*Session).Figure16)},
+		{ID: "energy", Desc: "energy vs OptTLP", Run: one((*Session).Energy)},
+		{ID: "fig17", Desc: "Kepler scalability", Run: one((*Session).Figure17), Arch: "kepler"},
+		{ID: "fig18", Desc: "input sensitivity", Run: one((*Session).Figure18)},
+		{ID: "fig19", Desc: "resource-insensitive applications", Run: one((*Session).Figure19)},
+		{ID: "fig20", Desc: "CRAT-profile vs CRAT-static", Run: one((*Session).Figure20)},
+		{ID: "overhead", Desc: "framework overhead", Run: one((*Session).Overhead)},
+		{ID: "abl-sched", Desc: "ablation: GTO vs LRR", Run: one((*Session).AblationScheduler)},
+		{ID: "abl-spillcost", Desc: "ablation: spill-cost weighting", Run: one((*Session).AblationSpillCost)},
+		{ID: "abl-split", Desc: "ablation: sub-stack splitting", Run: one((*Session).AblationSubstackSplit)},
+		{ID: "abl-pruning", Desc: "ablation: design-space pruning", Run: one((*Session).AblationPruning)},
+		{ID: "abl-tpsc", Desc: "ablation: TPSC vs oracle", Run: one((*Session).AblationTPSC)},
+		{ID: "abl-bypass", Desc: "ablation: CRAT with L1 bypassing", Run: one((*Session).AblationBypass)},
+	}
+}
+
+// RunExperiments executes the selected experiment IDs ("all" or empty =
+// everything) and renders results to w. Sessions are shared per
+// architecture so figures reuse each other's simulations.
+func RunExperiments(ids []string, w io.Writer) error {
+	wanted := make(map[string]bool)
+	for _, id := range ids {
+		if id == "all" {
+			wanted = nil
+			break
+		}
+		wanted[id] = true
+	}
+	sessions := make(map[string]*Session)
+	session := func(arch string) (*Session, error) {
+		if arch == "" {
+			arch = "fermi"
+		}
+		if s, ok := sessions[arch]; ok {
+			return s, nil
+		}
+		cfg := gpusim.FermiConfig()
+		if arch == "kepler" {
+			cfg = gpusim.KeplerConfig()
+		}
+		s, err := NewSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sessions[arch] = s
+		return s, nil
+	}
+
+	known := make(map[string]bool)
+	for _, e := range Experiments() {
+		known[e.ID] = true
+	}
+	if wanted != nil {
+		var missing []string
+		for id := range wanted {
+			if !known[id] {
+				missing = append(missing, id)
+			}
+		}
+		sort.Strings(missing)
+		if len(missing) > 0 {
+			return fmt.Errorf("unknown experiment ids: %v", missing)
+		}
+	}
+
+	for _, e := range Experiments() {
+		if wanted != nil && !wanted[e.ID] {
+			continue
+		}
+		s, err := session(e.Arch)
+		if err != nil {
+			return err
+		}
+		tables, err := e.Run(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			t.Render(w)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package ptx_test
+
+import (
+	"fmt"
+
+	"crat/internal/ptx"
+)
+
+// ExampleParse parses the paper's Listing 2 (the native, SSA-style kernel
+// before register allocation) and reports its register demand.
+func ExampleParse() {
+	src := `
+.visible .entry kernel(
+	.param .u64 output
+)
+{
+	.reg .u32 %r<5>;
+
+	mov.u32 %r0, %tid.x;
+	mov.u32 %r1, %ctaid.x;
+	mov.u32 %r2, %ntid.x;
+	mul.lo.u32 %r3, %r2, %r1;
+	add.u32 %r4, %r0, %r3;
+	exit;
+}
+`
+	k, err := ptx.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(k.Name, "uses", k.NumRegs(), "virtual registers in", len(k.Insts), "instructions")
+	// Output: kernel uses 5 virtual registers in 6 instructions
+}
+
+// ExampleBuilder constructs a guarded global store programmatically and
+// prints the resulting PTX instruction.
+func ExampleBuilder() {
+	b := ptx.NewBuilder("demo")
+	b.Param("out", ptx.U64)
+	po := b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, po, "out")
+	tid := b.Reg(ptx.U32)
+	b.MovSpec(tid, ptx.SpecTidX)
+	p := b.Reg(ptx.Pred)
+	b.Setp(ptx.CmpLt, ptx.U32, p, ptx.R(tid), ptx.Imm(32))
+	b.If(p, false).St(ptx.SpaceGlobal, ptx.U32, ptx.MemReg(po, 0), ptx.R(tid))
+	b.Exit()
+
+	k := b.Kernel()
+	fmt.Println(ptx.FormatInst(k, 3))
+	// Output: @%p2 st.global.u32 [%rd0], %r1;
+}
+
+// ExampleKernel_SpillOverhead shows the spill-accounting view used by the
+// TPSC cost model.
+func ExampleKernel_SpillOverhead() {
+	src := `
+.visible .entry spilled()
+{
+	.reg .u32 %r<2>;
+	.reg .u64 %d<1>;
+	.local .align 4 .b8 SpillStack[4];
+
+	mov.u64 %d0, SpillStack;
+	mov.u32 %r0, %tid.x;
+	st.local.u32 [%d0], %r0;
+	ld.local.u32 %r1, [%d0];
+	exit;
+}
+`
+	k, err := ptx.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	s := k.StaticStats()
+	fmt.Printf("local ops: %d, spill bytes: %d\n", s.LocalOps, s.SpillBytes)
+	// Output: local ops: 2, spill bytes: 8
+}

@@ -1,0 +1,418 @@
+package ptx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Param is a kernel parameter. Pointer parameters are declared .u64.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// ArrayDecl declares a statically sized array in the shared or local state
+// space (e.g. the SpillStack of paper Listing 4).
+type ArrayDecl struct {
+	Name  string
+	Space Space
+	Align int
+	Size  int64 // bytes
+}
+
+// Kernel is a single PTX entry function: parameters, state-space array
+// declarations, a typed virtual register file, and a linear instruction
+// list with labels.
+type Kernel struct {
+	Name     string
+	Params   []Param
+	Arrays   []ArrayDecl
+	RegTypes []Type // register types indexed by Reg
+	Insts    []Inst
+}
+
+// NewKernel returns an empty kernel with the given name.
+func NewKernel(name string) *Kernel {
+	return &Kernel{Name: name}
+}
+
+// NewReg allocates a fresh virtual register of the given type and returns
+// its index.
+func (k *Kernel) NewReg(t Type) Reg {
+	k.RegTypes = append(k.RegTypes, t)
+	return Reg(len(k.RegTypes) - 1)
+}
+
+// NumRegs returns the number of registers (virtual or physical) declared in
+// the kernel.
+func (k *Kernel) NumRegs() int { return len(k.RegTypes) }
+
+// RegType returns the type of register r.
+func (k *Kernel) RegType(r Reg) Type {
+	if r < 0 || int(r) >= len(k.RegTypes) {
+		return TypeNone
+	}
+	return k.RegTypes[r]
+}
+
+// AddParam appends a kernel parameter.
+func (k *Kernel) AddParam(name string, t Type) {
+	k.Params = append(k.Params, Param{Name: name, Type: t})
+}
+
+// Param returns the parameter with the given name, if present.
+func (k *Kernel) Param(name string) (Param, bool) {
+	for _, p := range k.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// ParamOffset returns the byte offset of the named parameter in the kernel
+// parameter block, and the total size of the block. Parameters are laid out
+// in declaration order, each aligned to its own size.
+func (k *Kernel) ParamOffset(name string) (off int64, ok bool) {
+	cur := int64(0)
+	for _, p := range k.Params {
+		sz := int64(p.Type.Bytes())
+		cur = (cur + sz - 1) / sz * sz
+		if p.Name == name {
+			return cur, true
+		}
+		cur += sz
+	}
+	return 0, false
+}
+
+// AddArray appends a shared/local array declaration.
+func (k *Kernel) AddArray(d ArrayDecl) {
+	k.Arrays = append(k.Arrays, d)
+}
+
+// Array returns the declaration of the named array, if present.
+func (k *Kernel) Array(name string) (ArrayDecl, bool) {
+	for _, d := range k.Arrays {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return ArrayDecl{}, false
+}
+
+// SharedBytes returns the total statically declared shared memory of the
+// kernel in bytes (each array aligned to its declared alignment). This is
+// the ShmSize parameter of paper Table 1.
+func (k *Kernel) SharedBytes() int64 {
+	return k.spaceBytes(SpaceShared)
+}
+
+// LocalBytes returns the total declared local memory per thread in bytes.
+func (k *Kernel) LocalBytes() int64 {
+	return k.spaceBytes(SpaceLocal)
+}
+
+func (k *Kernel) spaceBytes(sp Space) int64 {
+	total := int64(0)
+	for _, d := range k.Arrays {
+		if d.Space != sp {
+			continue
+		}
+		align := int64(d.Align)
+		if align <= 0 {
+			align = 1
+		}
+		total = (total + align - 1) / align * align
+		total += d.Size
+	}
+	return total
+}
+
+// ArrayOffset returns the byte offset of the named array within its state
+// space, following the same layout rule as SharedBytes.
+func (k *Kernel) ArrayOffset(name string) (off int64, ok bool) {
+	var target ArrayDecl
+	target, ok = k.Array(name)
+	if !ok {
+		return 0, false
+	}
+	cur := int64(0)
+	for _, d := range k.Arrays {
+		if d.Space != target.Space {
+			continue
+		}
+		align := int64(d.Align)
+		if align <= 0 {
+			align = 1
+		}
+		cur = (cur + align - 1) / align * align
+		if d.Name == name {
+			return cur, true
+		}
+		cur += d.Size
+	}
+	return 0, false
+}
+
+// Append adds an instruction to the kernel and returns its index.
+func (k *Kernel) Append(in Inst) int {
+	k.Insts = append(k.Insts, in)
+	return len(k.Insts) - 1
+}
+
+// LabelIndex returns the instruction index carrying the given label.
+func (k *Kernel) LabelIndex(label string) (int, bool) {
+	for i := range k.Insts {
+		if k.Insts[i].Label == label {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Clone returns a deep copy of the kernel.
+func (k *Kernel) Clone() *Kernel {
+	out := &Kernel{
+		Name:     k.Name,
+		Params:   append([]Param(nil), k.Params...),
+		Arrays:   append([]ArrayDecl(nil), k.Arrays...),
+		RegTypes: append([]Type(nil), k.RegTypes...),
+		Insts:    make([]Inst, len(k.Insts)),
+	}
+	for i := range k.Insts {
+		out.Insts[i] = k.Insts[i].Clone()
+	}
+	return out
+}
+
+// RegCounts returns the number of registers of each class declared in the
+// kernel.
+func (k *Kernel) RegCounts() (n32, n64, npred int) {
+	for _, t := range k.RegTypes {
+		switch t.Class() {
+		case Class32:
+			n32++
+		case Class64:
+			n64++
+		case ClassPred:
+			npred++
+		}
+	}
+	return
+}
+
+// Validate checks structural invariants of the kernel: register indices in
+// range, guard registers are predicates, branch targets resolve, memory
+// operands are well formed, operand register classes match the instruction
+// type where PTX requires it. It returns the first violation found.
+func (k *Kernel) Validate() error {
+	labels := make(map[string]int)
+	for i := range k.Insts {
+		if l := k.Insts[i].Label; l != "" {
+			if prev, dup := labels[l]; dup {
+				return fmt.Errorf("%s: label %q defined at inst %d and %d", k.Name, l, prev, i)
+			}
+			labels[l] = i
+		}
+	}
+	checkReg := func(i int, r Reg, what string) error {
+		if r < 0 || int(r) >= len(k.RegTypes) {
+			return fmt.Errorf("%s: inst %d: %s register %d out of range", k.Name, i, what, r)
+		}
+		return nil
+	}
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		if in.Guard != NoReg {
+			if err := checkReg(i, in.Guard, "guard"); err != nil {
+				return err
+			}
+			if k.RegType(in.Guard) != Pred {
+				return fmt.Errorf("%s: inst %d: guard %d is not a predicate", k.Name, i, in.Guard)
+			}
+		}
+		if in.Op == OpBra {
+			if _, ok := labels[in.Target]; !ok {
+				return fmt.Errorf("%s: inst %d: branch to undefined label %q", k.Name, i, in.Target)
+			}
+		}
+		ops := make([]Operand, 0, 4)
+		ops = append(ops, in.Dst)
+		ops = append(ops, in.Srcs...)
+		for _, op := range ops {
+			switch op.Kind {
+			case OperandReg:
+				if err := checkReg(i, op.Reg, "operand"); err != nil {
+					return err
+				}
+			case OperandMem:
+				if op.Reg != NoReg {
+					if err := checkReg(i, op.Reg, "address"); err != nil {
+						return err
+					}
+					if c := k.RegType(op.Reg).Class(); c != Class64 && !(in.Space == SpaceShared && c == Class32) {
+						return fmt.Errorf("%s: inst %d: address register %d must be 64-bit (or 32-bit for shared)", k.Name, i, op.Reg)
+					}
+				} else if op.Sym != "" {
+					if _, ok := k.Array(op.Sym); !ok {
+						if _, ok := k.Param(op.Sym); !ok {
+							return fmt.Errorf("%s: inst %d: unknown symbol %q", k.Name, i, op.Sym)
+						}
+					}
+				}
+			case OperandSym:
+				if _, ok := k.Array(op.Sym); !ok {
+					if _, ok := k.Param(op.Sym); !ok {
+						return fmt.Errorf("%s: inst %d: unknown symbol %q", k.Name, i, op.Sym)
+					}
+				}
+			}
+		}
+		// Width checks: destination register class must match instruction
+		// type width for typed ops (PTX is type-sensitive, paper §5.2).
+		if in.Dst.Kind == OperandReg && in.Type != TypeNone && in.Op != OpSetp {
+			want := in.Type.Class()
+			got := k.RegType(in.Dst.Reg).Class()
+			if in.Op == OpCvt {
+				// cvt result class follows the destination type.
+				want = in.Type.Class()
+			}
+			if got != want {
+				return fmt.Errorf("%s: inst %d (%s.%s): dst register class %s, want %s",
+					k.Name, i, in.Op, in.Type, got, want)
+			}
+		}
+		if in.Op == OpSetp && in.Dst.Kind == OperandReg && k.RegType(in.Dst.Reg) != Pred {
+			return fmt.Errorf("%s: inst %d: setp destination must be a predicate", k.Name, i)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the static composition of a kernel.
+type Stats struct {
+	Insts      int
+	Loads      int
+	Stores     int
+	LocalOps   int
+	SharedOps  int
+	GlobalOps  int
+	Branches   int
+	Barriers   int
+	SFU        int
+	SpillBytes int64 // bytes moved by local/shared spill ld/st (static count)
+}
+
+// StaticStats computes Stats over the kernel's instruction list.
+func (k *Kernel) StaticStats() Stats {
+	var s Stats
+	s.Insts = len(k.Insts)
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		switch {
+		case in.Op == OpLd:
+			s.Loads++
+		case in.Op == OpSt:
+			s.Stores++
+		case in.Op == OpBra:
+			s.Branches++
+		case in.Op == OpBar:
+			s.Barriers++
+		case in.Op.IsSFU():
+			s.SFU++
+		}
+		if in.Op.IsMemory() {
+			switch in.Space {
+			case SpaceLocal:
+				s.LocalOps++
+				s.SpillBytes += int64(in.Type.Bytes())
+			case SpaceShared:
+				s.SharedOps++
+			case SpaceGlobal:
+				s.GlobalOps++
+			}
+		}
+	}
+	return s
+}
+
+// SpillOverhead summarizes allocator-inserted instructions by provenance
+// tag and state space: the static Num_local, Num_shm, and Num_others terms
+// of the paper's TPSC spill-cost model (§6).
+type SpillOverhead struct {
+	LocalLoads   int
+	LocalStores  int
+	SharedLoads  int
+	SharedStores int
+	AddrInsts    int
+}
+
+// Locals returns the number of local-memory spill instructions.
+func (o SpillOverhead) Locals() int { return o.LocalLoads + o.LocalStores }
+
+// Shareds returns the number of shared-memory spill instructions.
+func (o SpillOverhead) Shareds() int { return o.SharedLoads + o.SharedStores }
+
+// SpillOverhead scans the kernel's instruction metadata tags.
+func (k *Kernel) SpillOverhead() SpillOverhead {
+	var o SpillOverhead
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		switch in.Meta {
+		case MetaSpillLoad:
+			if in.Space == SpaceShared {
+				o.SharedLoads++
+			} else {
+				o.LocalLoads++
+			}
+		case MetaSpillStore:
+			if in.Space == SpaceShared {
+				o.SharedStores++
+			} else {
+				o.LocalStores++
+			}
+		case MetaSpillAddr:
+			o.AddrInsts++
+		}
+	}
+	return o
+}
+
+// SortedLabels returns the kernel's labels in instruction order (useful for
+// deterministic printing and tests).
+func (k *Kernel) SortedLabels() []string {
+	type lab struct {
+		name string
+		idx  int
+	}
+	var ls []lab
+	for i := range k.Insts {
+		if k.Insts[i].Label != "" {
+			ls = append(ls, lab{k.Insts[i].Label, i})
+		}
+	}
+	sort.Slice(ls, func(a, b int) bool { return ls[a].idx < ls[b].idx })
+	out := make([]string, len(ls))
+	for i, l := range ls {
+		out[i] = l.name
+	}
+	return out
+}
+
+// Module is a collection of kernels, mirroring a PTX translation unit.
+type Module struct {
+	Version string // PTX version header, e.g. "3.2"
+	Target  string // target architecture, e.g. "sm_20"
+	Kernels []*Kernel
+}
+
+// Kernel returns the kernel with the given name, if present.
+func (m *Module) Kernel(name string) (*Kernel, bool) {
+	for _, k := range m.Kernels {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,469 @@
+package ptx
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// floatBits64 returns the IEEE-754 bit pattern of v.
+func floatBits64(v float64) uint64 { return math.Float64bits(v) }
+
+// ParseError describes a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ptx: line %d: %s", e.Line, e.Msg)
+}
+
+// parser holds parsing state for one module.
+type parser struct {
+	lines []string
+	pos   int // current line index
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.pos + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseModule parses a PTX module in the dialect produced by PrintModule.
+// It also tolerates the common nvcc spellings of the paper's listings
+// (mul.lo.u32, mad.lo, div.rn, rcp.approx, sqrt.rn, ld.param, st.local, ...).
+func ParseModule(src string) (*Module, error) {
+	p := &parser{lines: splitLines(src)}
+	m := &Module{}
+	for p.pos < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.pos])
+		switch {
+		case line == "" || strings.HasPrefix(line, "//"):
+			p.pos++
+		case strings.HasPrefix(line, ".version"):
+			m.Version = strings.TrimSpace(strings.TrimPrefix(line, ".version"))
+			p.pos++
+		case strings.HasPrefix(line, ".target"):
+			m.Target = strings.TrimSpace(strings.TrimPrefix(line, ".target"))
+			p.pos++
+		case strings.HasPrefix(line, ".address_size"):
+			p.pos++
+		case strings.Contains(line, ".entry"):
+			k, err := p.parseKernel()
+			if err != nil {
+				return nil, err
+			}
+			m.Kernels = append(m.Kernels, k)
+		default:
+			return nil, p.errf("unexpected top-level line %q", line)
+		}
+	}
+	return m, nil
+}
+
+// Parse parses a single kernel from source containing exactly one .entry.
+func Parse(src string) (*Kernel, error) {
+	m, err := ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Kernels) != 1 {
+		return nil, fmt.Errorf("ptx: expected exactly one kernel, found %d", len(m.Kernels))
+	}
+	return m.Kernels[0], nil
+}
+
+func splitLines(src string) []string {
+	return strings.Split(strings.ReplaceAll(src, "\r\n", "\n"), "\n")
+}
+
+// parseKernel parses ".visible .entry name ( params ) { body }".
+func (p *parser) parseKernel() (*Kernel, error) {
+	header := strings.TrimSpace(p.lines[p.pos])
+	idx := strings.Index(header, ".entry")
+	rest := strings.TrimSpace(header[idx+len(".entry"):])
+	// Kernel name runs to '(' or end of line.
+	name := rest
+	if j := strings.IndexAny(rest, "( \t"); j >= 0 {
+		name = rest[:j]
+		rest = strings.TrimSpace(rest[j:])
+	} else {
+		rest = ""
+	}
+	if name == "" {
+		return nil, p.errf("missing kernel name")
+	}
+	k := NewKernel(name)
+
+	// Parameters: collect text between '(' and ')'.
+	paramText := ""
+	if strings.HasPrefix(rest, "(") {
+		paramText = rest[1:]
+	}
+	for !strings.Contains(paramText, ")") {
+		p.pos++
+		if p.pos >= len(p.lines) {
+			return nil, p.errf("unterminated parameter list")
+		}
+		paramText += " " + strings.TrimSpace(p.lines[p.pos])
+	}
+	paramText = paramText[:strings.Index(paramText, ")")]
+	for _, decl := range strings.Split(paramText, ",") {
+		decl = strings.TrimSpace(decl)
+		if decl == "" {
+			continue
+		}
+		fields := strings.Fields(decl)
+		// ".param" ".u64" "name"
+		if len(fields) < 3 || fields[0] != ".param" {
+			return nil, p.errf("bad parameter declaration %q", decl)
+		}
+		t, ok := TypeFromName(strings.TrimPrefix(fields[1], "."))
+		if !ok {
+			return nil, p.errf("bad parameter type %q", fields[1])
+		}
+		k.AddParam(fields[len(fields)-1], t)
+	}
+	// Advance past header line(s) to '{'.
+	for p.pos < len(p.lines) && !strings.Contains(p.lines[p.pos], "{") {
+		p.pos++
+	}
+	if p.pos >= len(p.lines) {
+		return nil, p.errf("missing kernel body")
+	}
+	p.pos++ // skip '{' line
+
+	regs := make(map[string]Reg) // register name -> id
+	var pendingLabel string
+	for p.pos < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.pos])
+		switch {
+		case line == "" || strings.HasPrefix(line, "//"):
+			p.pos++
+			continue
+		case line == "}":
+			p.pos++
+			return k, nil
+		case strings.HasPrefix(line, ".reg"):
+			if err := p.parseRegDecl(k, regs, line); err != nil {
+				return nil, err
+			}
+			p.pos++
+			continue
+		case strings.HasPrefix(line, ".local") || strings.HasPrefix(line, ".shared"):
+			if err := p.parseArrayDecl(k, line); err != nil {
+				return nil, err
+			}
+			p.pos++
+			continue
+		}
+		// Label line: "name:" possibly followed by an instruction.
+		if j := strings.Index(line, ":"); j >= 0 && !strings.ContainsAny(line[:j], " \t@%.[") {
+			pendingLabel = line[:j]
+			line = strings.TrimSpace(line[j+1:])
+			if line == "" {
+				p.pos++
+				continue
+			}
+		}
+		in, err := p.parseInst(k, regs, line)
+		if err != nil {
+			return nil, err
+		}
+		in.Label = pendingLabel
+		pendingLabel = ""
+		k.Append(in)
+		p.pos++
+	}
+	return nil, p.errf("unterminated kernel body")
+}
+
+// parseRegDecl handles ".reg .u32 %r0, %r3;" and the "<N>" counted form
+// ".reg .u32 %r<5>;".
+func (p *parser) parseRegDecl(k *Kernel, regs map[string]Reg, line string) error {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+	fields := strings.SplitN(line, " ", 3)
+	if len(fields) < 3 {
+		return p.errf("bad register declaration %q", line)
+	}
+	t, ok := TypeFromName(strings.TrimPrefix(fields[1], "."))
+	if !ok {
+		return p.errf("bad register type %q", fields[1])
+	}
+	for _, name := range strings.Split(fields[2], ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if i := strings.Index(name, "<"); i >= 0 {
+			// Counted form %r<N>: declares %r0 .. %r(N-1).
+			j := strings.Index(name, ">")
+			if j < i {
+				return p.errf("bad counted register %q", name)
+			}
+			n, err := strconv.Atoi(name[i+1 : j])
+			if err != nil {
+				return p.errf("bad register count in %q", name)
+			}
+			prefix := name[:i]
+			for c := 0; c < n; c++ {
+				nm := fmt.Sprintf("%s%d", prefix, c)
+				if _, dup := regs[nm]; dup {
+					return p.errf("duplicate register %q", nm)
+				}
+				regs[nm] = k.NewReg(t)
+			}
+			continue
+		}
+		if _, dup := regs[name]; dup {
+			return p.errf("duplicate register %q", name)
+		}
+		regs[name] = k.NewReg(t)
+	}
+	return nil
+}
+
+// parseArrayDecl handles ".local .align 4 .b8 SpillStack[16];".
+func (p *parser) parseArrayDecl(k *Kernel, line string) error {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+	fields := strings.Fields(line)
+	sp, ok := SpaceFromName(strings.TrimPrefix(fields[0], "."))
+	if !ok {
+		return p.errf("bad array space %q", fields[0])
+	}
+	align := 4
+	i := 1
+	if i < len(fields) && fields[i] == ".align" {
+		a, err := strconv.Atoi(fields[i+1])
+		if err != nil {
+			return p.errf("bad alignment %q", fields[i+1])
+		}
+		align = a
+		i += 2
+	}
+	if i < len(fields) && strings.HasPrefix(fields[i], ".") {
+		i++ // element type, always .b8 in our dialect
+	}
+	if i >= len(fields) {
+		return p.errf("missing array name in %q", line)
+	}
+	nameSize := fields[i]
+	j := strings.Index(nameSize, "[")
+	j2 := strings.Index(nameSize, "]")
+	if j < 0 || j2 < j {
+		return p.errf("bad array declarator %q", nameSize)
+	}
+	size, err := strconv.ParseInt(nameSize[j+1:j2], 10, 64)
+	if err != nil {
+		return p.errf("bad array size in %q", nameSize)
+	}
+	k.AddArray(ArrayDecl{Name: nameSize[:j], Space: sp, Align: align, Size: size})
+	return nil
+}
+
+// ignorable instruction modifiers accepted and discarded while parsing
+// mnemonics (rounding/precision modifiers that don't change our semantics).
+var ignoredModifiers = map[string]bool{
+	"rn": true, "rz": true, "rm": true, "rp": true,
+	"approx": true, "full": true, "ftz": true, "sat": true,
+	"wide": true, "sync": true, "uni": true,
+}
+
+// parseInst parses one instruction statement (without label).
+func (p *parser) parseInst(k *Kernel, regs map[string]Reg, line string) (Inst, error) {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+	in := Inst{Guard: NoReg}
+
+	// Guard predicate "@%p0 " or "@!%p0 ".
+	if strings.HasPrefix(line, "@") {
+		sp := strings.IndexAny(line, " \t")
+		if sp < 0 {
+			return in, p.errf("guard without instruction in %q", line)
+		}
+		g := line[1:sp]
+		if strings.HasPrefix(g, "!") {
+			in.GuardNeg = true
+			g = g[1:]
+		}
+		r, ok := regs[g]
+		if !ok {
+			return in, p.errf("unknown guard register %q", g)
+		}
+		in.Guard = r
+		line = strings.TrimSpace(line[sp:])
+	}
+
+	// Split mnemonic from operands.
+	sp := strings.IndexAny(line, " \t")
+	mnemonic := line
+	operands := ""
+	if sp >= 0 {
+		mnemonic = line[:sp]
+		operands = strings.TrimSpace(line[sp:])
+	}
+
+	parts := strings.Split(mnemonic, ".")
+	opName := parts[0]
+	if opName == "bar" {
+		in.Op = OpBar
+		return in, nil
+	}
+	op, ok := OpcodeFromName(opName)
+	if !ok {
+		return in, p.errf("unknown opcode %q", opName)
+	}
+	in.Op = op
+
+	// Interpret suffixes: comparison (setp), state space (ld/st), types.
+	var types []Type
+	for _, suf := range parts[1:] {
+		if suf == "lo" || ignoredModifiers[suf] {
+			continue
+		}
+		if suf == "cg" && (op == OpLd || op == OpSt) {
+			in.Bypass = true
+			continue
+		}
+		if suf == "ca" && (op == OpLd || op == OpSt) {
+			continue // cache-all is the default policy
+		}
+		if op == OpSetp {
+			if c, ok := CmpFromName(suf); ok {
+				in.Cmp = c
+				continue
+			}
+		}
+		if op == OpLd || op == OpSt {
+			if s, ok := SpaceFromName(suf); ok {
+				in.Space = s
+				continue
+			}
+		}
+		if t, ok := TypeFromName(suf); ok {
+			types = append(types, t)
+			continue
+		}
+		return in, p.errf("unknown suffix %q in %q", suf, mnemonic)
+	}
+	switch {
+	case op == OpCvt && len(types) == 2:
+		in.Type, in.CvtFrom = types[0], types[1]
+	case len(types) >= 1:
+		in.Type = types[0]
+	}
+
+	switch op {
+	case OpBra:
+		in.Target = strings.TrimSpace(operands)
+		return in, nil
+	case OpRet, OpExit, OpNop:
+		return in, nil
+	}
+
+	var ops []Operand
+	for _, tok := range splitOperands(operands) {
+		o, err := p.parseOperand(k, regs, tok)
+		if err != nil {
+			return in, err
+		}
+		ops = append(ops, o)
+	}
+	if len(ops) == 0 {
+		return in, p.errf("instruction %q has no operands", line)
+	}
+	if op == OpSt {
+		in.Dst = ops[0]
+		in.Srcs = ops[1:]
+	} else {
+		in.Dst = ops[0]
+		in.Srcs = ops[1:]
+	}
+	return in, nil
+}
+
+// splitOperands splits "a, [b+4], c" at top-level commas.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func (p *parser) parseOperand(k *Kernel, regs map[string]Reg, tok string) (Operand, error) {
+	switch {
+	case tok == "":
+		return Operand{}, p.errf("empty operand")
+	case strings.HasPrefix(tok, "["):
+		inner := strings.TrimSuffix(strings.TrimPrefix(tok, "["), "]")
+		base := inner
+		off := int64(0)
+		if j := strings.LastIndexAny(inner, "+-"); j > 0 {
+			v, err := strconv.ParseInt(strings.TrimSpace(inner[j:]), 10, 64)
+			if err == nil {
+				off = v
+				base = strings.TrimSpace(inner[:j])
+			}
+		}
+		if strings.HasPrefix(base, "%") {
+			r, ok := regs[base]
+			if !ok {
+				return Operand{}, p.errf("unknown address register %q", base)
+			}
+			return MemReg(r, off), nil
+		}
+		return MemSym(base, off), nil
+	case strings.HasPrefix(tok, "%"):
+		if s, ok := SpecialFromName(tok); ok {
+			return Spec(s), nil
+		}
+		r, ok := regs[tok]
+		if !ok {
+			return Operand{}, p.errf("unknown register %q", tok)
+		}
+		return R(r), nil
+	case strings.HasPrefix(tok, "0F") || strings.HasPrefix(tok, "0f"):
+		bits, err := strconv.ParseUint(tok[2:], 16, 32)
+		if err != nil {
+			return Operand{}, p.errf("bad f32 literal %q", tok)
+		}
+		return FImm(float64(math.Float32frombits(uint32(bits)))), nil
+	case strings.HasPrefix(tok, "0D") || strings.HasPrefix(tok, "0d"):
+		bits, err := strconv.ParseUint(tok[2:], 16, 64)
+		if err != nil {
+			return Operand{}, p.errf("bad f64 literal %q", tok)
+		}
+		return FImm(math.Float64frombits(bits)), nil
+	default:
+		if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+			return Imm(v), nil
+		}
+		if v, err := strconv.ParseFloat(tok, 64); err == nil {
+			return FImm(v), nil
+		}
+		// Bare identifier: address-of symbol (mov %rd, SpillStack).
+		if _, ok := k.Array(tok); ok {
+			return Sym(tok), nil
+		}
+		if _, ok := k.Param(tok); ok {
+			return Sym(tok), nil
+		}
+		return Operand{}, p.errf("unknown operand %q", tok)
+	}
+}

@@ -1,0 +1,422 @@
+package regalloc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"crat/internal/cfg"
+	"crat/internal/ptx"
+)
+
+// SpillStackName is the local-memory array that holds spilled variables
+// (paper Listing 4).
+const SpillStackName = "SpillStack"
+
+// ErrInfeasible is returned when the register limit is too small to hold
+// even the unspillable values (spill temporaries and addressing registers).
+var ErrInfeasible = errors.New("regalloc: register limit infeasible")
+
+// debugInfeasible enables diagnostic prints on infeasibility (dev only).
+var debugInfeasible = false
+
+// Algorithm selects the allocation algorithm.
+type Algorithm uint8
+
+// Allocation algorithms. AlgoChaitin is the paper's Chaitin-Briggs
+// graph-coloring allocator; AlgoLinearScan is the independent reference
+// allocator used to cross-validate spill volume (paper Figure 12).
+const (
+	AlgoChaitin Algorithm = iota
+	AlgoLinearScan
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	if a == AlgoLinearScan {
+		return "linear-scan"
+	}
+	return "chaitin-briggs"
+}
+
+// Options configures an allocation run.
+type Options struct {
+	// Regs is the per-thread budget in 32-bit register slots — the
+	// paper's "register per-thread" knob.
+	Regs int
+	// Algorithm selects the allocator (default Chaitin-Briggs).
+	Algorithm Algorithm
+	// Preds is the predicate register budget. Zero means 8 (Fermi).
+	Preds int
+	// Coalesce runs conservative (Briggs) copy coalescing before coloring:
+	// register-to-register movs between non-interfering names are
+	// eliminated when the merge provably stays colorable. Off by default;
+	// most useful on externally supplied SSA-style PTX.
+	Coalesce bool
+	// TypeStrict forbids two virtual registers of different PTX types from
+	// sharing a physical register even when their live ranges do not
+	// overlap. This models the type-sensitivity of the commercial
+	// assembler described in paper §5.2 and wastes registers.
+	TypeStrict bool
+	// UnweightedSpillCost disables the 10^loop-depth weighting of spill
+	// costs (ablation knob).
+	UnweightedSpillCost bool
+	// MaxIterations bounds the build-color-spill loop. Zero means 32.
+	MaxIterations int
+}
+
+func (o Options) preds() int {
+	if o.Preds <= 0 {
+		return 8
+	}
+	return o.Preds
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIterations <= 0 {
+		return 32
+	}
+	return o.MaxIterations
+}
+
+// SpillSlot describes one spilled virtual register's slot in the spill
+// stack.
+type SpillSlot struct {
+	VReg   ptx.Reg  // register in the *virtual* (pre-allocation) kernel
+	Type   ptx.Type // value type (determines the sub-stack, paper Alg. 1)
+	Offset int64    // byte offset within the spill stack
+	Loads  int      // static reload sites inserted
+	Stores int      // static store sites inserted
+	Weight float64  // loop-depth-weighted access count (spill "gain" basis)
+}
+
+// Result is the outcome of an allocation.
+type Result struct {
+	// Kernel is the rewritten kernel with physical registers and spill
+	// code. Physical register names are dense per class.
+	Kernel *ptx.Kernel
+	// Virtual is the colorable kernel before the physical rewrite: spill
+	// code inserted, virtual register names retained. The shared-memory
+	// spilling optimization rewrites this form.
+	Virtual *ptx.Kernel
+	// UsedRegs is the number of 32-bit register slots the allocation
+	// actually uses per thread (the achieved "reg").
+	UsedRegs int
+	// UsedPreds is the number of predicate registers used.
+	UsedPreds int
+	// Spills lists the spilled virtual registers.
+	Spills []SpillSlot
+	// SpillStackBytes is the spill stack size per thread.
+	SpillStackBytes int64
+	// SpillLoads/SpillStores are static counts of inserted local-memory
+	// spill instructions; AddrInsts counts inserted address-computation
+	// instructions (paper §6 Num_others).
+	SpillLoads  int
+	SpillStores int
+	AddrInsts   int
+	// Iterations is the number of build-color-spill rounds.
+	Iterations int
+	// Coalesced counts copies eliminated by the optional coalescing pass.
+	Coalesced int
+	// Assignment maps virtual registers of the Virtual kernel to their
+	// starting 32-bit slot (predicates map to predicate indices).
+	Assignment map[ptx.Reg]int
+	// BaseReg is the 64-bit SpillStack base register in the Virtual
+	// kernel, or NoReg when nothing spilled. Spill instructions are
+	// exactly the ld/st.local whose address base is BaseReg.
+	BaseReg ptx.Reg
+}
+
+// allocState carries state across build-color-spill iterations.
+type allocState struct {
+	opts    Options
+	k       *ptx.Kernel // working copy, virtual names
+	noSpill map[ptx.Reg]bool
+	slots   map[ptx.Reg]SpillSlot // spilled vregs (from all rounds)
+	stack   int64                 // spill stack bytes used so far
+	baseReg ptx.Reg               // 64-bit SpillStack base register, or NoReg
+	res     *Result
+}
+
+// Allocate colors the kernel's virtual registers into at most opts.Regs
+// 32-bit slots per thread, spilling to a local-memory SpillStack when the
+// limit is exceeded (paper §5.1). The input kernel is not modified.
+func Allocate(k *ptx.Kernel, opts Options) (*Result, error) {
+	if opts.Regs <= 0 {
+		return nil, fmt.Errorf("regalloc: non-positive register budget %d", opts.Regs)
+	}
+	st := &allocState{
+		opts:    opts,
+		k:       k.Clone(),
+		noSpill: make(map[ptx.Reg]bool),
+		slots:   make(map[ptx.Reg]SpillSlot),
+		baseReg: ptx.NoReg,
+		res:     &Result{},
+	}
+	if opts.Coalesce {
+		n, err := coalesce(st.k, opts.Regs)
+		if err != nil {
+			return nil, err
+		}
+		st.res.Coalesced = n
+	}
+	for iter := 0; iter < opts.maxIter(); iter++ {
+		st.res.Iterations = iter + 1
+		var (
+			assignment      map[ptx.Reg]int
+			spillCandidates []ptx.Reg
+			err             error
+		)
+		if opts.Algorithm == AlgoLinearScan {
+			assignment, spillCandidates, err = st.colorLinear()
+		} else {
+			assignment, spillCandidates, err = st.color()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(spillCandidates) == 0 {
+			st.finish(assignment)
+			return st.res, nil
+		}
+		if err := st.insertSpills(spillCandidates); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("regalloc: did not converge after %d iterations", opts.maxIter())
+}
+
+// MaxReg returns the number of 32-bit register slots needed to hold all the
+// kernel's variables without any spill — the MaxReg parameter of paper
+// Table 1, obtained through dataflow analysis. Because graph coloring is a
+// heuristic, the unconstrained coloring's register count is only a starting
+// point: MaxReg is the smallest budget at which the allocator actually
+// produces a spill-free allocation.
+func MaxReg(k *ptx.Kernel) (int, error) {
+	r, err := Allocate(k, Options{Regs: 4096})
+	if err != nil {
+		return 0, err
+	}
+	for budget := r.UsedRegs; ; budget++ {
+		res, err := Allocate(k, Options{Regs: budget})
+		if err == nil && len(res.Spills) == 0 {
+			return res.UsedRegs, nil
+		}
+		if budget > r.UsedRegs+64 {
+			// Defensive bound; the unconstrained coloring fits in
+			// r.UsedRegs slots, so a spill-free packing close above it
+			// must exist.
+			return 0, fmt.Errorf("regalloc: no spill-free budget near %d", r.UsedRegs)
+		}
+	}
+}
+
+// color runs one build-simplify-select round. It returns the coloring (slot
+// assignment) and the set of registers chosen for spilling (empty when the
+// coloring succeeded).
+func (st *allocState) color() (map[ptx.Reg]int, []ptx.Reg, error) {
+	g, err := cfg.Build(st.k)
+	if err != nil {
+		return nil, nil, err
+	}
+	lv := cfg.ComputeLiveness(g)
+	ig := buildIGraph(st.k, lv)
+	weights := lv.AccessWeights()
+	if st.opts.UnweightedSpillCost {
+		weights = unweightedCounts(st.k)
+	}
+
+	K := st.opts.Regs
+	removed := make(map[ptx.Reg]bool)
+	var order []ptx.Reg // simplification stack (pop in reverse)
+	optimistic := make(map[ptx.Reg]bool)
+	nodes := ig.sortedNodes()
+	remaining := len(nodes)
+
+	for remaining > 0 {
+		// Pick a trivially colorable node (deterministically: smallest id).
+		picked := ptx.NoReg
+		for _, r := range nodes {
+			if removed[r] {
+				continue
+			}
+			if ig.squeeze(r, removed) <= K-ig.slots(r) {
+				picked = r
+				break
+			}
+		}
+		if picked == ptx.NoReg {
+			// Blocked: choose a spill candidate with minimal
+			// weight/degree (Chaitin heuristic); push it optimistically
+			// (Briggs) — it may still receive a color.
+			best := ptx.NoReg
+			bestMetric := 0.0
+			for _, r := range nodes {
+				if removed[r] || st.noSpill[r] {
+					continue
+				}
+				d := ig.degree(r, removed)
+				if d == 0 {
+					d = 1
+				}
+				m := weights[r] / float64(d)
+				if best == ptx.NoReg || m < bestMetric {
+					best = r
+					bestMetric = m
+				}
+			}
+			if best == ptx.NoReg {
+				// Only unspillable nodes remain and none is trivially
+				// colorable: the budget cannot hold the spill machinery.
+				if debugInfeasible {
+					println("INFEASIBLE: simplify stuck, remaining:", remaining)
+				}
+				return nil, nil, ErrInfeasible
+			}
+			picked = best
+			optimistic[picked] = true
+		}
+		removed[picked] = true
+		order = append(order, picked)
+		remaining--
+	}
+
+	// Select phase: pop in reverse order, assign lowest feasible slot run.
+	assignment := make(map[ptx.Reg]int)
+	slotTypes := make(map[int]ptx.Type) // TypeStrict bookkeeping
+	var spills []ptx.Reg
+	for i := len(order) - 1; i >= 0; i-- {
+		r := order[i]
+		slot := st.findSlot(ig, r, assignment, slotTypes)
+		if slot < 0 {
+			if st.noSpill[r] {
+				// An unspillable node (spill temporary or addressing
+				// register) failed to color: free a slot by spilling its
+				// cheapest spillable neighbor instead. Only when no such
+				// neighbor exists is the budget genuinely infeasible.
+				victim := st.cheapestSpillableNeighbor(ig, r, weights, spills)
+				if victim == ptx.NoReg {
+					if debugInfeasible {
+						println("INFEASIBLE: noSpill node failed select, reg:", int(r),
+							"type:", st.k.RegType(r).String())
+					}
+					return nil, nil, ErrInfeasible
+				}
+				spills = append(spills, victim)
+				continue
+			}
+			spills = append(spills, r)
+			continue
+		}
+		assignment[r] = slot
+		if st.opts.TypeStrict {
+			t := st.k.RegType(r)
+			for s := 0; s < ig.slots(r); s++ {
+				slotTypes[slot+s] = t
+			}
+		}
+	}
+	return assignment, spills, nil
+}
+
+// cheapestSpillableNeighbor picks the interference neighbor of r with the
+// lowest spill metric that is spillable and not already queued for
+// spilling. It returns NoReg when none exists.
+func (st *allocState) cheapestSpillableNeighbor(ig *igraph, r ptx.Reg, weights []float64, queued []ptx.Reg) ptx.Reg {
+	inQueue := make(map[ptx.Reg]bool, len(queued))
+	for _, q := range queued {
+		inQueue[q] = true
+	}
+	best := ptx.NoReg
+	bestMetric := 0.0
+	for n := range ig.adj[r] {
+		if st.noSpill[n] || inQueue[n] {
+			continue
+		}
+		d := ig.degree(n, nil)
+		if d == 0 {
+			d = 1
+		}
+		m := weights[n] / float64(d)
+		if best == ptx.NoReg || m < bestMetric || (m == bestMetric && n < best) {
+			best = n
+			bestMetric = m
+		}
+	}
+	return best
+}
+
+// findSlot returns the lowest starting slot where r fits given its already-
+// colored interference neighbors, or -1 if none exists within the budget.
+func (st *allocState) findSlot(ig *igraph, r ptx.Reg, assignment map[ptx.Reg]int, slotTypes map[int]ptx.Type) int {
+	K := st.opts.Regs
+	w := ig.slots(r)
+	blocked := make([]bool, K)
+	for n := range ig.adj[r] {
+		s, ok := assignment[n]
+		if !ok {
+			continue
+		}
+		for i := 0; i < ig.slots(n); i++ {
+			if s+i < K {
+				blocked[s+i] = true
+			}
+		}
+	}
+	t := st.k.RegType(r)
+	for s := 0; s+w <= K; s++ {
+		ok := true
+		for i := 0; i < w; i++ {
+			if blocked[s+i] {
+				ok = false
+				break
+			}
+			if st.opts.TypeStrict {
+				if prev, used := slotTypes[s+i]; used && prev != t {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return s
+		}
+	}
+	return -1
+}
+
+// finish rewrites the colored kernel to physical registers and fills the
+// result.
+func (st *allocState) finish(assignment map[ptx.Reg]int) {
+	st.res.Virtual = st.k.Clone()
+	st.res.Assignment = assignment
+	st.res.BaseReg = st.baseReg
+	st.res.Kernel, st.res.UsedRegs, st.res.UsedPreds = rewritePhysical(st.k, assignment, st.opts.preds())
+	for _, s := range st.slots {
+		st.res.Spills = append(st.res.Spills, s)
+	}
+	sort.Slice(st.res.Spills, func(a, b int) bool {
+		return st.res.Spills[a].Offset < st.res.Spills[b].Offset
+	})
+	st.res.SpillStackBytes = st.stack
+}
+
+// unweightedCounts counts static access sites without loop weighting.
+func unweightedCounts(k *ptx.Kernel) []float64 {
+	out := make([]float64, k.NumRegs())
+	var buf []ptx.Reg
+	for i := range k.Insts {
+		buf = k.Insts[i].Uses(buf[:0])
+		for _, r := range buf {
+			out[r]++
+		}
+		buf = k.Insts[i].Defs(buf[:0])
+		for _, r := range buf {
+			out[r]++
+		}
+	}
+	return out
+}
+
+// SetDebugInfeasible toggles infeasibility diagnostics (development aid).
+func SetDebugInfeasible(v bool) { debugInfeasible = v }

@@ -1,0 +1,191 @@
+package regalloc
+
+import (
+	"testing"
+
+	"crat/internal/gpusim"
+	"crat/internal/ptx"
+)
+
+// copyHeavyKernel mimics nvcc's SSA-style output: values flow through
+// register-to-register movs whose sources die at the copy.
+func copyHeavyKernel() *ptx.Kernel {
+	b := ptx.NewBuilder("copyheavy")
+	b.Param("out", ptx.U64)
+	out := b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, out, "out")
+	tid := b.Reg(ptx.U32)
+	b.MovSpec(tid, ptx.SpecTidX)
+	cur := tid
+	for i := 0; i < 6; i++ {
+		stage := b.Reg(ptx.U32)
+		b.Add(ptx.U32, stage, ptx.R(cur), ptx.Imm(int64(i+1)))
+		copied := b.Reg(ptx.U32)
+		b.Mov(ptx.U32, copied, ptx.R(stage)) // stage dies here: coalescible
+		cur = copied
+	}
+	oA := b.AddrOf(out, tid, 4)
+	b.St(ptx.SpaceGlobal, ptx.U32, ptx.MemReg(oA, 0), ptx.R(cur))
+	b.Exit()
+	return b.Kernel()
+}
+
+func TestCoalesceEliminatesCopies(t *testing.T) {
+	k := copyHeavyKernel()
+	plain, err := Allocate(k, Options{Regs: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := Allocate(k, Options{Regs: 16, Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Coalesced == 0 {
+		t.Fatal("no copies coalesced in a copy-heavy kernel")
+	}
+	if plain.Coalesced != 0 {
+		t.Error("baseline run reports coalesced copies")
+	}
+	if len(co.Kernel.Insts) >= len(plain.Kernel.Insts) {
+		t.Errorf("coalescing did not shrink the kernel: %d -> %d insts",
+			len(plain.Kernel.Insts), len(co.Kernel.Insts))
+	}
+	if err := co.Kernel.Validate(); err != nil {
+		t.Fatalf("coalesced kernel invalid: %v", err)
+	}
+	checkColoring(t, co)
+}
+
+func TestCoalescedKernelFunctionallyEquivalent(t *testing.T) {
+	k := copyHeavyKernel()
+	run := func(kern *ptx.Kernel) []uint32 {
+		mem := gpusim.NewMemory()
+		out := mem.Alloc(4 * 64)
+		sim, err := gpusim.NewSimulator(gpusim.FermiConfig(), mem, gpusim.Launch{
+			Kernel: kern, Grid: 1, Block: 64, Params: []uint64{out},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		res := make([]uint32, 64)
+		for i := range res {
+			res[i] = mem.ReadUint32(out + uint64(4*i))
+		}
+		return res
+	}
+	co, err := Allocate(k, Options{Regs: 16, Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := run(k)
+	got := run(co.Kernel)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("coalesced kernel diverges at %d: %d vs %d", i, got[i], ref[i])
+		}
+	}
+	// tid + 1+2+...+6 = tid + 21.
+	if ref[5] != 5+21 {
+		t.Fatalf("reference kernel wrong: out[5] = %d", ref[5])
+	}
+}
+
+func TestCoalesceSkipsInterferingCopies(t *testing.T) {
+	// v2 = mov v1 where v1 stays live past the copy: both values coexist,
+	// so the copy must survive.
+	b := ptx.NewBuilder("interf")
+	b.Param("out", ptx.U64)
+	out := b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, out, "out")
+	v1 := b.Reg(ptx.U32)
+	b.MovSpec(v1, ptx.SpecTidX)
+	v2 := b.Reg(ptx.U32)
+	b.Mov(ptx.U32, v2, ptx.R(v1))
+	b.Add(ptx.U32, v2, ptx.R(v2), ptx.Imm(5)) // v2 diverges from v1
+	sum := b.Reg(ptx.U32)
+	b.Add(ptx.U32, sum, ptx.R(v1), ptx.R(v2)) // both live here
+	b.St(ptx.SpaceGlobal, ptx.U32, ptx.MemReg(out, 0), ptx.R(sum))
+	b.Exit()
+	k := b.Kernel()
+	res, err := Allocate(k, Options{Regs: 16, Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coalesced != 0 {
+		t.Errorf("coalesced %d interfering copies", res.Coalesced)
+	}
+}
+
+func TestCoalesceHandlesLabelledCopies(t *testing.T) {
+	// A labelled mov that gets coalesced must hand its label to the next
+	// instruction (and branches must keep working).
+	b := ptx.NewBuilder("lblcopy")
+	b.Param("out", ptx.U64)
+	out := b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, out, "out")
+	tid := b.Reg(ptx.U32)
+	b.MovSpec(tid, ptx.SpecTidX)
+	p := b.Reg(ptx.Pred)
+	b.Setp(ptx.CmpLt, ptx.U32, p, ptx.R(tid), ptx.Imm(16))
+	v1 := b.Reg(ptx.U32)
+	b.Add(ptx.U32, v1, ptx.R(tid), ptx.Imm(1))
+	b.BraIf(p, false, "TARGET")
+	b.Add(ptx.U32, v1, ptx.R(v1), ptx.Imm(100))
+	v2 := b.Reg(ptx.U32)
+	b.Label("TARGET").Mov(ptx.U32, v2, ptx.R(v1)) // labelled, coalescible
+	oA := b.AddrOf(out, tid, 4)
+	b.St(ptx.SpaceGlobal, ptx.U32, ptx.MemReg(oA, 0), ptx.R(v2))
+	b.Exit()
+	k := b.Kernel()
+
+	res, err := Allocate(k, Options{Regs: 16, Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coalesced == 0 {
+		t.Fatal("labelled copy not coalesced")
+	}
+	if err := res.Kernel.Validate(); err != nil {
+		t.Fatalf("kernel invalid after labelled coalesce: %v", err)
+	}
+	// Functional check: tid<16 -> tid+1, else tid+101.
+	mem := gpusim.NewMemory()
+	outBuf := mem.Alloc(4 * 32)
+	sim, err := gpusim.NewSimulator(gpusim.FermiConfig(), mem, gpusim.Launch{
+		Kernel: res.Kernel, Grid: 1, Block: 32, Params: []uint64{outBuf},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		want := uint32(i + 1)
+		if i >= 16 {
+			want = uint32(i + 101)
+		}
+		if got := mem.ReadUint32(outBuf + uint64(4*i)); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCoalesceReducesMaxReg(t *testing.T) {
+	// With copies folded away, the same kernel colors into fewer registers.
+	k := copyHeavyKernel()
+	co, err := Allocate(k, Options{Regs: 64, Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Allocate(k, Options{Regs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.UsedRegs > plain.UsedRegs {
+		t.Errorf("coalescing increased register use: %d -> %d", plain.UsedRegs, co.UsedRegs)
+	}
+}

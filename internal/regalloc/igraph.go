@@ -1,0 +1,119 @@
+// Package regalloc implements register allocation for PTX kernels under a
+// per-thread register limit: a Chaitin-Briggs graph-coloring allocator with
+// spill-code insertion (paper §5), plus a linear-scan reference allocator
+// used to cross-validate spill volume (paper §5.2, Figure 12).
+//
+// The allocator works in 32-bit register slots: a 64-bit virtual register
+// occupies two slots, predicates live in a separate predicate file and are
+// not charged against the budget — matching how NVIDIA GPUs account
+// "registers per thread".
+package regalloc
+
+import (
+	"sort"
+
+	"crat/internal/cfg"
+	"crat/internal/ptx"
+)
+
+// igraph is an interference graph over a kernel's virtual registers.
+// Only Class32/Class64 registers participate; predicates are handled by a
+// trivial separate pass.
+type igraph struct {
+	k     *ptx.Kernel
+	adj   []map[ptx.Reg]struct{} // adjacency sets, indexed by Reg
+	nodes []ptx.Reg              // participating registers (accessed at least once)
+	inUse []bool                 // register is referenced somewhere
+}
+
+// buildIGraph constructs the interference graph from liveness: at every
+// definition point, the defined register interferes with everything live
+// after the instruction.
+func buildIGraph(k *ptx.Kernel, lv *cfg.Liveness) *igraph {
+	n := k.NumRegs()
+	g := &igraph{
+		k:     k,
+		adj:   make([]map[ptx.Reg]struct{}, n),
+		inUse: make([]bool, n),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[ptx.Reg]struct{})
+	}
+	var buf []ptx.Reg
+	mark := func(r ptx.Reg) {
+		if k.RegType(r).Class() != ptx.ClassPred {
+			g.inUse[r] = true
+		}
+	}
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		buf = in.Uses(buf[:0])
+		for _, r := range buf {
+			mark(r)
+		}
+		buf = in.Defs(buf[:0])
+		for _, d := range buf {
+			mark(d)
+			if k.RegType(d).Class() == ptx.ClassPred {
+				continue
+			}
+			lv.InstOut[i].ForEach(func(l ptx.Reg) {
+				if l == d || k.RegType(l).Class() == ptx.ClassPred {
+					return
+				}
+				g.addEdge(d, l)
+			})
+		}
+	}
+	for r := 0; r < n; r++ {
+		if g.inUse[r] {
+			g.nodes = append(g.nodes, ptx.Reg(r))
+		}
+	}
+	return g
+}
+
+func (g *igraph) addEdge(a, b ptx.Reg) {
+	if a == b {
+		return
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+}
+
+// slots returns the number of 32-bit slots register r occupies.
+func (g *igraph) slots(r ptx.Reg) int {
+	return g.k.RegType(r).Class().Slots()
+}
+
+// squeeze returns the worst-case number of slots the neighbors of r in
+// "alive" can block: the Briggs trivial-colorability test is
+// squeeze(r) <= K - slots(r).
+func (g *igraph) squeeze(r ptx.Reg, removed map[ptx.Reg]bool) int {
+	s := 0
+	for n := range g.adj[r] {
+		if !removed[n] {
+			s += g.slots(n)
+		}
+	}
+	return s
+}
+
+// degree returns the unweighted interference degree of r among nodes not in
+// removed.
+func (g *igraph) degree(r ptx.Reg, removed map[ptx.Reg]bool) int {
+	d := 0
+	for n := range g.adj[r] {
+		if !removed[n] {
+			d++
+		}
+	}
+	return d
+}
+
+// sortedNodes returns the participating nodes in deterministic order.
+func (g *igraph) sortedNodes() []ptx.Reg {
+	out := append([]ptx.Reg(nil), g.nodes...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

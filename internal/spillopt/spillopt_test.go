@@ -1,0 +1,401 @@
+package spillopt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crat/internal/ptx"
+	"crat/internal/regalloc"
+)
+
+// mixedPressureKernel creates register pressure from u32 and f32 values that
+// all stay live until the end, so spilling is unavoidable under a reduced
+// budget and sub-stacks of both types can exist.
+func mixedPressureKernel(nInt, nFloat int) *ptx.Kernel {
+	b := ptx.NewBuilder("mixed")
+	b.Param("out", ptx.U64)
+	out := b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, out, "out")
+	ints := b.Regs(ptx.U32, nInt)
+	floats := b.Regs(ptx.F32, nFloat)
+	for i, r := range ints {
+		b.Mov(ptx.U32, r, ptx.Imm(int64(i+1)))
+	}
+	for i, r := range floats {
+		b.Mov(ptx.F32, r, ptx.FImm(float64(i)+0.5))
+	}
+	isum := b.Reg(ptx.U32)
+	b.Mov(ptx.U32, isum, ptx.Imm(0))
+	for _, r := range ints {
+		b.Add(ptx.U32, isum, ptx.R(isum), ptx.R(r))
+	}
+	fsum := b.Reg(ptx.F32)
+	b.Mov(ptx.F32, fsum, ptx.FImm(0))
+	for _, r := range floats {
+		b.Add(ptx.F32, fsum, ptx.R(fsum), ptx.R(r))
+	}
+	b.St(ptx.SpaceGlobal, ptx.U32, ptx.MemReg(out, 0), ptx.R(isum))
+	b.St(ptx.SpaceGlobal, ptx.F32, ptx.MemReg(out, 4), ptx.R(fsum))
+	b.Exit()
+	return b.Kernel()
+}
+
+func spilledAlloc(t *testing.T, k *ptx.Kernel, under int) (*regalloc.Result, regalloc.Options) {
+	t.Helper()
+	max, err := regalloc.MaxReg(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := regalloc.Options{Regs: max - under}
+	r, err := regalloc.Allocate(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Spills) == 0 {
+		t.Fatal("test premise: no spills")
+	}
+	return r, opts
+}
+
+func TestKnapsackKnownOptimum(t *testing.T) {
+	sizes := []int64{3, 4, 5}
+	gains := []float64{4, 5, 6}
+	mask, total := Knapsack(sizes, gains, 7)
+	// Optimum: items 0+1 (size 7, gain 9).
+	if total != 9 {
+		t.Errorf("total = %v, want 9", total)
+	}
+	if !mask[0] || !mask[1] || mask[2] {
+		t.Errorf("mask = %v, want [true true false]", mask)
+	}
+}
+
+func TestKnapsackZeroCapacity(t *testing.T) {
+	mask, total := Knapsack([]int64{1}, []float64{10}, 0)
+	if mask[0] || total != 0 {
+		t.Errorf("zero capacity selected items: %v %v", mask, total)
+	}
+}
+
+func TestKnapsackMatchesBruteForce(t *testing.T) {
+	f := func(rawSizes []uint8, rawGains []uint8, rawCap uint8) bool {
+		n := len(rawSizes)
+		if len(rawGains) < n {
+			n = len(rawGains)
+		}
+		if n > 8 {
+			n = 8
+		}
+		sizes := make([]int64, n)
+		gains := make([]float64, n)
+		for i := 0; i < n; i++ {
+			sizes[i] = int64(rawSizes[i]%16 + 1)
+			gains[i] = float64(rawGains[i] % 32)
+		}
+		capacity := int64(rawCap % 64)
+		_, got := Knapsack(sizes, gains, capacity)
+
+		best := 0.0
+		for bits := 0; bits < 1<<n; bits++ {
+			var sz int64
+			var g float64
+			for i := 0; i < n; i++ {
+				if bits&(1<<i) != 0 {
+					sz += sizes[i]
+					g += gains[i]
+				}
+			}
+			if sz <= capacity && g > best {
+				best = g
+			}
+		}
+		return got == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKnapsackMaskConsistentWithTotal(t *testing.T) {
+	f := func(rawSizes []uint8, rawGains []uint8, rawCap uint16) bool {
+		n := len(rawSizes)
+		if len(rawGains) < n {
+			n = len(rawGains)
+		}
+		if n > 10 {
+			n = 10
+		}
+		sizes := make([]int64, n)
+		gains := make([]float64, n)
+		for i := 0; i < n; i++ {
+			sizes[i] = int64(rawSizes[i]) + 1
+			gains[i] = float64(rawGains[i])
+		}
+		capacity := int64(rawCap % 2048)
+		mask, total := Knapsack(sizes, gains, capacity)
+		var sz int64
+		var g float64
+		for i := range mask {
+			if mask[i] {
+				sz += sizes[i]
+				g += gains[i]
+			}
+		}
+		return sz <= capacity && g == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimizeMovesSpillsToShared(t *testing.T) {
+	k := mixedPressureKernel(14, 6)
+	r, opts := spilledAlloc(t, k, 6)
+	blockSize := 64
+	res, err := Optimize(r, opts, Options{
+		SpareShmBytes: 16 * 1024,
+		BlockSize:     blockSize,
+	})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	moved := 0
+	for _, g := range res.Groups {
+		if g.InShared {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no sub-stack moved to shared memory despite ample spare")
+	}
+	if res.Overhead.Shareds() == 0 {
+		t.Error("final kernel has no shared spill instructions")
+	}
+	before := r.Kernel.SpillOverhead()
+	if res.Overhead.Locals() >= before.Locals() && moved > 0 {
+		t.Errorf("local spill instructions did not decrease: %d -> %d",
+			before.Locals(), res.Overhead.Locals())
+	}
+	if err := res.Alloc.Kernel.Validate(); err != nil {
+		t.Errorf("optimized kernel invalid: %v", err)
+	}
+	// Shared arrays must exist and match the consumed bytes.
+	var declared int64
+	for _, a := range res.Alloc.Kernel.Arrays {
+		if a.Space == ptx.SpaceShared {
+			declared += a.Size
+		}
+	}
+	if declared != res.SharedSpillBytes {
+		t.Errorf("shared declared %d != accounted %d", declared, res.SharedSpillBytes)
+	}
+	if res.Alloc.UsedRegs > opts.Regs {
+		t.Errorf("reallocation exceeded budget: %d > %d", res.Alloc.UsedRegs, opts.Regs)
+	}
+}
+
+func TestOptimizeRespectsSpareLimit(t *testing.T) {
+	k := mixedPressureKernel(14, 6)
+	r, opts := spilledAlloc(t, k, 6)
+	spare := int64(512)
+	res, err := Optimize(r, opts, Options{SpareShmBytes: spare, BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SharedSpillBytes > spare {
+		t.Errorf("consumed %d bytes of shared, spare was %d", res.SharedSpillBytes, spare)
+	}
+}
+
+func TestOptimizeZeroSpareUnchanged(t *testing.T) {
+	k := mixedPressureKernel(12, 4)
+	r, opts := spilledAlloc(t, k, 4)
+	res, err := Optimize(r, opts, Options{SpareShmBytes: 0, BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc != r {
+		t.Error("zero spare should return the input allocation")
+	}
+	for _, g := range res.Groups {
+		if g.InShared {
+			t.Error("group moved with zero spare")
+		}
+	}
+}
+
+func TestOptimizeNoSpillsPassthrough(t *testing.T) {
+	k := mixedPressureKernel(4, 2)
+	max, err := regalloc.MaxReg(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := regalloc.Options{Regs: max}
+	r, err := regalloc.Allocate(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(r, opts, Options{SpareShmBytes: 1 << 14, BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alloc != r || len(res.Groups) != 0 {
+		t.Error("no-spill input should pass through unchanged")
+	}
+}
+
+func TestSplitStrategies(t *testing.T) {
+	k := mixedPressureKernel(14, 6)
+	r, _ := spilledAlloc(t, k, 6)
+	byType := splitGroups(r.Spills, SplitByType)
+	whole := splitGroups(r.Spills, SplitWhole)
+	perVar := splitGroups(r.Spills, SplitPerVariable)
+
+	if len(whole) != 1 {
+		t.Errorf("whole split: %d groups, want 1", len(whole))
+	}
+	if len(perVar) != len(r.Spills) {
+		t.Errorf("per-variable split: %d groups, want %d", len(perVar), len(r.Spills))
+	}
+	if len(byType) < 1 || len(byType) > len(r.Spills) {
+		t.Errorf("by-type split: %d groups out of range", len(byType))
+	}
+	// Total per-thread bytes must be identical across strategies.
+	sum := func(gs []Group) int64 {
+		var s int64
+		for _, g := range gs {
+			s += g.PerThread
+		}
+		return s
+	}
+	if sum(byType) != sum(whole) || sum(whole) != sum(perVar) {
+		t.Errorf("per-thread byte totals differ: %d / %d / %d",
+			sum(byType), sum(whole), sum(perVar))
+	}
+}
+
+func TestPerVariableSplitFinerPlacement(t *testing.T) {
+	// With a spare that fits only part of the stack, the per-variable split
+	// must achieve at least the gain of the whole-stack split.
+	k := mixedPressureKernel(14, 6)
+	r, opts := spilledAlloc(t, k, 6)
+	half := (r.SpillStackBytes * 64) / 2
+	resWhole, err := Optimize(r, opts, Options{SpareShmBytes: half, BlockSize: 64, Split: SplitWhole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resVar, err := Optimize(r, opts, Options{SpareShmBytes: half, BlockSize: 64, Split: SplitPerVariable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resVar.MovedGain < resWhole.MovedGain {
+		t.Errorf("per-variable gain %v < whole-stack gain %v", resVar.MovedGain, resWhole.MovedGain)
+	}
+}
+
+func TestGainWeightsLoopAccesses(t *testing.T) {
+	// A spilled variable accessed inside a loop must contribute ~10x gain
+	// versus a straight-line access.
+	b := ptx.NewBuilder("loopy")
+	b.Param("out", ptx.U64)
+	out := b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, out, "out")
+	hot := b.Reg(ptx.U32) // accessed in loop
+	b.Mov(ptx.U32, hot, ptx.Imm(1))
+	// Pressure regs that stay live across the loop.
+	regs := b.Regs(ptx.U32, 12)
+	for i, r := range regs {
+		b.Mov(ptx.U32, r, ptx.Imm(int64(i)))
+	}
+	i := b.Reg(ptx.U32)
+	p := b.Reg(ptx.Pred)
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	b.Label("LOOP").Setp(ptx.CmpGe, ptx.U32, p, ptx.R(i), ptx.Imm(8))
+	b.BraIf(p, false, "DONE")
+	b.Add(ptx.U32, hot, ptx.R(hot), ptx.Imm(3))
+	b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	b.Bra("LOOP")
+	b.Label("DONE")
+	sum := b.Reg(ptx.U32)
+	b.Mov(ptx.U32, sum, ptx.Imm(0))
+	for _, r := range regs {
+		b.Add(ptx.U32, sum, ptx.R(sum), ptx.R(r))
+	}
+	b.Add(ptx.U32, sum, ptx.R(sum), ptx.R(hot))
+	b.St(ptx.SpaceGlobal, ptx.U32, ptx.MemReg(out, 0), ptx.R(sum))
+	b.Exit()
+	k := b.Kernel()
+
+	max, err := regalloc.MaxReg(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := regalloc.Options{Regs: max - 2}
+	r, err := regalloc.Allocate(k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Spills) == 0 {
+		t.Skip("allocator avoided spilling in this configuration")
+	}
+	groups := splitGroups(r.Spills, SplitPerVariable)
+	weighted, err := estimateGains(r, groups, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unweighted, err := estimateGains(r, groups, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyHigher := false
+	for i := range groups {
+		if weighted[i] > unweighted[i] {
+			anyHigher = true
+		}
+		if weighted[i] < unweighted[i] {
+			t.Errorf("group %s: weighted gain %v below unweighted %v",
+				groups[i].Key, weighted[i], unweighted[i])
+		}
+	}
+	_ = anyHigher // loop-resident spills are allocator-dependent
+}
+
+func TestOptimizeRejectsBadBlockSize(t *testing.T) {
+	k := mixedPressureKernel(12, 4)
+	r, opts := spilledAlloc(t, k, 4)
+	if _, err := Optimize(r, opts, Options{SpareShmBytes: 1024, BlockSize: 0}); err == nil {
+		t.Error("Optimize accepted zero block size")
+	}
+}
+
+func TestSplitStrings(t *testing.T) {
+	if SplitByType.String() != "by-type" || SplitWhole.String() != "whole-stack" ||
+		SplitPerVariable.String() != "per-variable" {
+		t.Error("split strategy names wrong")
+	}
+}
+
+func TestWorstFitSelectsLowGain(t *testing.T) {
+	sizes := []int64{10, 10, 10}
+	gains := []float64{5, 1, 3}
+	mask, total := worstFit(sizes, gains, 20)
+	if !mask[1] || !mask[2] || mask[0] {
+		t.Errorf("worstFit mask = %v, want lowest-gain pair", mask)
+	}
+	if total != 4 {
+		t.Errorf("worstFit total = %v, want 4", total)
+	}
+}
+
+func TestGroupElemPadding(t *testing.T) {
+	g := Group{Slots: []regalloc.SpillSlot{
+		{Type: ptx.U32}, {Type: ptx.F64}, {Type: ptx.U32},
+	}}
+	if got := groupElem(&g); got != 8 {
+		t.Errorf("groupElem = %d, want 8 (largest slot)", got)
+	}
+	g2 := Group{Slots: []regalloc.SpillSlot{{Type: ptx.F32}}}
+	if got := groupElem(&g2); got != 4 {
+		t.Errorf("groupElem = %d, want 4", got)
+	}
+}

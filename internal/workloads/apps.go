@@ -1,0 +1,157 @@
+package workloads
+
+// The parameter sheets below map each benchmark of paper Table 3 onto the
+// generator's axes. The mapping targets each application's *published
+// characterization* in the paper, not its source code:
+//
+//   - register-hungry apps (CFD, FDTD, DTC, BLK, ...) get enough live
+//     accumulators that MaxReg exceeds what any pruned design point can
+//     hold, so the reg/TLP tradeoff is real;
+//   - cache-sensitive apps get per-block working sets sized against the
+//     32KB L1 so that MaxTLP thrashes and throttling pays (KMN most
+//     extreme: paper reports CRAT running it at TLP=1);
+//   - STM/SPMV/KMN/LBM keep DefaultReg at their optimum so CRAT matches
+//     OptTLP exactly, as Figure 13 reports;
+//   - resource-insensitive apps (Table 3 bottom) have low pressure and
+//     streaming access, so MaxTLP is already optimal.
+
+// Sensitive returns the resource-sensitive applications (paper Table 3,
+// top) in the order the paper's figures use.
+func Sensitive() []Profile {
+	return []Profile{
+		{
+			Name: "BlackScholes", Kernel: "BlackScholesGPU", Abbr: "BLK", Suite: "sdk", Sensitive: true,
+			Block: 128, Grid: 10,
+			Pressure: 14, ColdPressure: 20, Chain: 10, StreamIters: 6, UseSFU: true,
+			DefaultReg: 32, // spills its cold values at default; CRAT's registers remove them
+		},
+		{
+			Name: "cfd", Kernel: "cuda_compute_flux", Abbr: "CFD", Suite: "rodinia", Sensitive: true,
+			Block: 128, Grid: 10,
+			Pressure: 12, ColdPressure: 44, Chain: 2, WSWords: 3072, Sweeps: 5, LoadsPerIter: 5,
+			DefaultReg: 40, // cache-bound at MaxTLP and spilling at the default allocation
+			Inputs: []Input{
+				{Name: "fvcorr.097K", GridScale: 1, DataScale: 1},
+				{Name: "fvcorr.193K", GridScale: 1.5, DataScale: 1.3},
+				{Name: "missile.0.2M", GridScale: 2, DataScale: 0.7},
+			},
+		},
+		{
+			Name: "dxtc", Kernel: "compress", Abbr: "DTC", Suite: "sdk", Sensitive: true,
+			Block: 192, Grid: 12,
+			Pressure: 18, ColdPressure: 34, Chain: 8, WSWords: 1024, Sweeps: 4, LoadsPerIter: 2, SharedWords: 256,
+			DefaultReg: 40, // residual spills at every design point: Algorithm 1 pays
+		},
+		{
+			Name: "EstimatePi", Kernel: "initRNG", Abbr: "ESP", Suite: "sdk", Sensitive: true,
+			Block: 128, Grid: 10,
+			Pressure: 12, ColdPressure: 16, Chain: 8, StreamIters: 5, UseSFU: true,
+			DefaultReg: 28,
+		},
+		{
+			Name: "FDTD3d", Kernel: "FiniteDifferences", Abbr: "FDTD", Suite: "sdk", Sensitive: true,
+			Block: 256, Grid: 10,
+			Pressure: 18, ColdPressure: 48, Chain: 6, WSWords: 2048, Sweeps: 4, LoadsPerIter: 2,
+			DefaultReg: 42, // paper: OptTLP runs 42 regs; CRAT trades registers against TLP
+		},
+		{
+			Name: "hotspot", Kernel: "calculate_temp", Abbr: "HST", Suite: "rodinia", Sensitive: true,
+			Block: 192, Grid: 10,
+			Pressure: 12, ColdPressure: 18, Chain: 8, WSWords: 1536, Sweeps: 4, LoadsPerIter: 2, SharedWords: 512,
+			DefaultReg: 26, // spills at default eliminated by CRAT
+		},
+		{
+			Name: "kmeans", Kernel: "invert_mapping", Abbr: "KMN", Suite: "rodinia", Sensitive: true,
+			Block: 256, Grid: 6,
+			Pressure: 6, Chain: 0, WSWords: 4096, Sweeps: 5, LoadsPerIter: 8,
+			DefaultReg: 0, // 16KB working set per block: serious thrashing beyond TLP 1-2
+		},
+		{
+			Name: "lbm", Kernel: "StreamCollide", Abbr: "LBM", Suite: "parboil", Sensitive: true,
+			Block: 128, Grid: 10,
+			Pressure: 22, Chain: 10, StreamIters: 6, LoadsPerIter: 2,
+			DefaultReg: 0, // default = MaxReg: already the optimal allocation
+		},
+		{
+			Name: "spmv", Kernel: "spmv_jds", Abbr: "SPMV", Suite: "parboil", Sensitive: true,
+			Block: 128, Grid: 10,
+			Pressure: 10, Chain: 2, WSWords: 3072, Sweeps: 4, LoadsPerIter: 3, Divergent: 6,
+			DefaultReg: 0, // default = MaxReg: register utilization not improvable
+		},
+		{
+			Name: "stencil", Kernel: "block2D", Abbr: "STE", Suite: "parboil", Sensitive: true,
+			Block: 128, Grid: 10,
+			Pressure: 18, ColdPressure: 36, Chain: 4, WSWords: 2048, Sweeps: 4, LoadsPerIter: 2, SharedWords: 1024,
+			DefaultReg: 34, // residual spills: Algorithm 1 pays
+		},
+		{
+			Name: "streamcluster", Kernel: "compute_cost", Abbr: "STM", Suite: "rodinia", Sensitive: true,
+			Block: 128, Grid: 10,
+			Pressure: 12, Chain: 4, WSWords: 4096, Sweeps: 4, LoadsPerIter: 3,
+			DefaultReg: 0, // default = MaxReg
+		},
+	}
+}
+
+// Insensitive returns the resource-insensitive applications (paper Table 3,
+// bottom): low register pressure, streaming or tiny working sets — neither
+// throttling nor CRAT should move them.
+func Insensitive() []Profile {
+	return []Profile{
+		{Name: "backprop", Kernel: "layerforward", Abbr: "BAK", Suite: "rodinia",
+			Block: 128, Grid: 10, Pressure: 8, Chain: 6, StreamIters: 4, SharedWords: 256},
+		{Name: "bfs", Kernel: "kernel", Abbr: "BFS", Suite: "rodinia",
+			Block: 128, Grid: 10, Pressure: 4, Chain: 2, StreamIters: 4, Divergent: 8},
+		{Name: "b+tree", Kernel: "findK", Abbr: "B+T", Suite: "rodinia",
+			Block: 128, Grid: 10, Pressure: 6, Chain: 3, StreamIters: 4, Divergent: 4},
+		{Name: "gaussian", Kernel: "Fan1", Abbr: "GAU", Suite: "rodinia",
+			Block: 128, Grid: 10, Pressure: 5, Chain: 4, StreamIters: 4},
+		{Name: "lud", Kernel: "diagonal", Abbr: "LUD", Suite: "rodinia",
+			Block: 64, Grid: 10, Pressure: 8, Chain: 5, WSWords: 512, Sweeps: 2, SharedWords: 256},
+		{Name: "mummergpu", Kernel: "mummergpuKernel", Abbr: "MUM", Suite: "rodinia",
+			Block: 128, Grid: 10, Pressure: 6, Chain: 3, StreamIters: 4, Divergent: 10},
+		{Name: "nw", Kernel: "cuda_shared_1", Abbr: "NEED", Suite: "rodinia",
+			Block: 64, Grid: 10, Pressure: 7, Chain: 4, WSWords: 512, Sweeps: 2, SharedWords: 512},
+		{Name: "particlefilter", Kernel: "kernel", Abbr: "PTF", Suite: "rodinia",
+			Block: 128, Grid: 10, Pressure: 8, Chain: 6, StreamIters: 4, UseSFU: true},
+		{Name: "pathfinder", Kernel: "dynproc", Abbr: "PATH", Suite: "rodinia",
+			Block: 128, Grid: 10, Pressure: 6, Chain: 4, StreamIters: 4, SharedWords: 256},
+		{Name: "sgemm", Kernel: "mysgemmNT", Abbr: "SGM", Suite: "parboil",
+			Block: 128, Grid: 10, Pressure: 10, Chain: 8, WSWords: 1024, Sweeps: 2},
+		{Name: "srad", Kernel: "srad_cuda", Abbr: "SRAD", Suite: "rodinia",
+			Block: 128, Grid: 10, Pressure: 8, Chain: 6, StreamIters: 4, UseSFU: true},
+	}
+}
+
+// All returns every application, sensitive first (paper Table 3).
+func All() []Profile {
+	return append(Sensitive(), Insensitive()...)
+}
+
+// ByAbbr returns the profile with the given abbreviation.
+func ByAbbr(abbr string) (Profile, bool) {
+	for _, p := range All() {
+		if p.Abbr == abbr {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// InputsFor returns the input-sensitivity study set (paper §7.4 uses CFD
+// and BLK with 3-4 inputs each).
+func InputsFor(abbr string) []Input {
+	p, ok := ByAbbr(abbr)
+	if !ok {
+		return nil
+	}
+	if len(p.Inputs) > 0 {
+		return p.Inputs
+	}
+	// Default input ladder for apps without an explicit set.
+	return []Input{
+		{Name: "small", GridScale: 0.75, DataScale: 1},
+		{Name: "default", GridScale: 1, DataScale: 1},
+		{Name: "large", GridScale: 1.5, DataScale: 1},
+	}
+}

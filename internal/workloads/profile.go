@@ -1,0 +1,321 @@
+// Package workloads generates the synthetic PTX kernels that stand in for
+// the paper's Rodinia / Parboil / CUDA-SDK benchmarks (Table 3).
+//
+// CRAT's behaviour on an application is determined by a small set of
+// PTX-level properties: the number of simultaneously live variables
+// (register pressure / MaxReg), the per-block cache footprint and its reuse
+// (L1 sensitivity and hence OptTLP), arithmetic intensity, shared-memory
+// usage (spare space for Algorithm 1), divergence, and block size. Each
+// paper benchmark is mapped to a parameter sheet over exactly those axes
+// (see apps.go); the generator below emits a kernel realizing the sheet.
+// This substitution is documented in DESIGN.md.
+package workloads
+
+import (
+	"fmt"
+
+	"crat/internal/core"
+	"crat/internal/gpusim"
+	"crat/internal/ptx"
+)
+
+// Profile is one application's parameter sheet.
+type Profile struct {
+	Name   string // application name (paper Table 3)
+	Kernel string // kernel name (paper Table 3)
+	Abbr   string
+	Suite  string // rodinia / parboil / sdk
+	// Sensitive marks the resource-sensitive class of Table 3.
+	Sensitive bool
+
+	Block int // threads per block (BlockSize)
+	Grid  int // thread blocks per launch
+
+	// Pressure is the number of long-lived "hot" f32 accumulators updated
+	// every inner-loop iteration: spilling one of these costs two local
+	// operations per inner iteration.
+	Pressure int
+	// ColdPressure adds long-lived accumulators updated only once per
+	// outer sweep: cheap to spill, but they still occupy registers. Real
+	// kernels mix both, which is what makes the reg/TLP tradeoff gradual.
+	ColdPressure int
+	// Chain is the length of the dependent multiply-add chain applied to
+	// every loaded element (arithmetic intensity / latency tolerance).
+	Chain int
+	// LoadsPerIter issues this many global loads per inner iteration at
+	// WSWords/LoadsPerIter-word gaps (memory intensity axis; 0 means 1).
+	LoadsPerIter int
+	// WSWords is the per-block working-set size in 4-byte words; the block
+	// sweeps it Sweeps times (cache-sensitivity axis). Zero means a
+	// streaming kernel with StreamIters grid-stride passes.
+	WSWords     int
+	Sweeps      int
+	StreamIters int
+	// SharedWords adds a per-block shared-memory staging tile of that many
+	// words, exercised once per sweep with a barrier (the app's own
+	// shared-memory usage, Figure 7).
+	SharedWords int
+	// Divergent adds a data-dependent branchy extra chain of this length
+	// (control-flow divergence axis).
+	Divergent int
+	// UseSFU routes each element through a special-function op.
+	UseSFU bool
+
+	// DefaultReg is the per-thread register count "nvcc" chose for the
+	// baselines (0 = min(MaxReg, 63)).
+	DefaultReg int
+
+	// Inputs lists alternative input scales for the sensitivity study
+	// (paper §7.4); empty means just the default input.
+	Inputs []Input
+}
+
+// Input is one input scale: multipliers applied to the launch shape.
+type Input struct {
+	Name      string
+	GridScale float64 // scales Grid
+	DataScale float64 // scales the data initialization pattern
+}
+
+// App materializes the profile into a runnable core.App.
+func (p Profile) App() core.App {
+	kern := buildKernel(p)
+	return core.App{
+		Name:       p.Abbr,
+		Kernel:     kern,
+		Grid:       p.Grid,
+		Block:      p.Block,
+		DefaultReg: p.DefaultReg,
+		Setup:      p.setup(1),
+	}
+}
+
+// AppWithInput materializes the profile at one of its input scales.
+func (p Profile) AppWithInput(in Input) core.App {
+	grid := int(float64(p.Grid)*in.GridScale + 0.5)
+	if grid < 1 {
+		grid = 1
+	}
+	kern := buildKernel(p)
+	return core.App{
+		Name:       fmt.Sprintf("%s/%s", p.Abbr, in.Name),
+		Kernel:     kern,
+		Grid:       grid,
+		Block:      p.Block,
+		DefaultReg: p.DefaultReg,
+		Setup:      p.setupGrid(grid, in.DataScale),
+	}
+}
+
+// dataWords returns the size of the input array in words for a grid.
+func (p Profile) dataWords(grid int) int {
+	if p.WSWords > 0 {
+		// One window per block plus one window of slack for the last
+		// block's extra per-iteration loads.
+		return p.WSWords * (grid + 1)
+	}
+	iters := p.StreamIters
+	if iters < 1 {
+		iters = 1
+	}
+	loads := p.LoadsPerIter
+	if loads < 1 {
+		loads = 1
+	}
+	return p.Block * (grid*iters + loads)
+}
+
+func (p Profile) setup(dataScale float64) func(*gpusim.Memory) []uint64 {
+	return p.setupGrid(p.Grid, dataScale)
+}
+
+func (p Profile) setupGrid(grid int, dataScale float64) func(*gpusim.Memory) []uint64 {
+	if dataScale == 0 {
+		dataScale = 1
+	}
+	return func(mem *gpusim.Memory) []uint64 {
+		words := p.dataWords(grid)
+		data := mem.Alloc(int64(4 * words))
+		for i := 0; i < words; i++ {
+			mem.WriteFloat32(data+uint64(4*i), float32(i%17)*0.25*float32(dataScale))
+		}
+		out := mem.Alloc(int64(4 * p.Block * grid))
+		return []uint64{data, out}
+	}
+}
+
+// buildKernel emits the synthetic kernel for a profile.
+func buildKernel(p Profile) *ptx.Kernel {
+	b := ptx.NewBuilder(p.Kernel)
+	b.Param("data", ptx.U64).Param("out", ptx.U64)
+	pd, po := b.Reg(ptx.U64), b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, pd, "data").LdParam(ptx.U64, po, "out")
+	tid := b.Reg(ptx.U32)
+	ctaid := b.Reg(ptx.U32)
+	b.MovSpec(tid, ptx.SpecTidX)
+	b.MovSpec(ctaid, ptx.SpecCtaIdX)
+
+	// Long-lived accumulators: live from here to the final reduction. Hot
+	// accumulators are updated every inner iteration, cold ones once per
+	// sweep.
+	accs := b.Regs(ptx.F32, p.Pressure)
+	cold := b.Regs(ptx.F32, p.ColdPressure)
+	for i, r := range accs {
+		b.Mov(ptx.F32, r, ptx.FImm(float64(i)*0.125))
+	}
+	for i, r := range cold {
+		b.Mov(ptx.F32, r, ptx.FImm(float64(i)*0.0625))
+	}
+
+	var sbase ptx.Reg
+	if p.SharedWords > 0 {
+		b.SharedArray("tile", int64(4*p.SharedWords))
+		sbase = b.Reg(ptx.U32)
+		b.Mov(ptx.U32, sbase, ptx.Sym("tile"))
+	}
+
+	inner := p.StreamIters
+	if p.WSWords > 0 {
+		inner = p.WSWords / 32
+	}
+	if inner < 1 {
+		inner = 1
+	}
+
+	it := b.Reg(ptx.U32)
+	k := b.Reg(ptx.U32)
+	pOuter := b.Reg(ptx.Pred)
+	pInner := b.Reg(ptx.Pred)
+	sweeps := p.Sweeps
+	if sweeps < 1 {
+		sweeps = 1
+	}
+	b.Mov(ptx.U32, it, ptx.Imm(0))
+	b.Label("OUTER").Setp(ptx.CmpGe, ptx.U32, pOuter, ptx.R(it), ptx.Imm(int64(sweeps)))
+	b.BraIf(pOuter, false, "END")
+
+	// Shared-memory staging once per sweep: tile[tid % SW] = acc0; barrier;
+	// read a rotated slot.
+	if p.SharedWords > 0 {
+		slot := b.Reg(ptx.U32)
+		b.And(ptx.U32, slot, ptx.R(tid), ptx.Imm(int64(p.SharedWords-1)))
+		saddr := b.Reg(ptx.U32)
+		b.Mad(ptx.U32, saddr, ptx.R(slot), ptx.Imm(4), ptx.R(sbase))
+		b.St(ptx.SpaceShared, ptx.F32, ptx.MemReg(saddr, 0), ptx.R(accs[0]))
+		b.Bar()
+		rot := b.Reg(ptx.U32)
+		b.Add(ptx.U32, rot, ptx.R(slot), ptx.Imm(1))
+		b.And(ptx.U32, rot, ptx.R(rot), ptx.Imm(int64(p.SharedWords-1)))
+		raddr := b.Reg(ptx.U32)
+		b.Mad(ptx.U32, raddr, ptx.R(rot), ptx.Imm(4), ptx.R(sbase))
+		sv := b.Reg(ptx.F32)
+		b.Ld(ptx.SpaceShared, ptx.F32, sv, ptx.MemReg(raddr, 0))
+		b.Add(ptx.F32, accs[0], ptx.R(accs[0]), ptx.R(sv))
+		b.Bar()
+	}
+
+	b.Mov(ptx.U32, k, ptx.Imm(0))
+	b.Label("INNER").Setp(ptx.CmpGe, ptx.U32, pInner, ptx.R(k), ptx.Imm(int64(inner)))
+	b.BraIf(pInner, false, "AFTER")
+
+	// Index computation.
+	idx := b.Reg(ptx.U32)
+	if p.WSWords > 0 {
+		// idx = ctaid*WS + ((tid + 32k + it) & (WS-1)): the block sweeps
+		// its private WSWords window with warp-coalesced lines.
+		off := b.Reg(ptx.U32)
+		b.Mad(ptx.U32, off, ptx.R(k), ptx.Imm(32), ptx.R(tid))
+		b.Add(ptx.U32, off, ptx.R(off), ptx.R(it))
+		b.And(ptx.U32, off, ptx.R(off), ptx.Imm(int64(p.WSWords-1)))
+		base := b.Reg(ptx.U32)
+		b.Mul(ptx.U32, base, ptx.R(ctaid), ptx.Imm(int64(p.WSWords)))
+		b.Add(ptx.U32, idx, ptx.R(base), ptx.R(off))
+	} else {
+		// Grid-stride streaming: every load is cold.
+		gidx := b.Reg(ptx.U32)
+		ntid := b.Reg(ptx.U32)
+		b.MovSpec(ntid, ptx.SpecNTidX)
+		b.Mad(ptx.U32, gidx, ptx.R(ctaid), ptx.R(ntid), ptx.R(tid))
+		stride := b.Reg(ptx.U32)
+		ncta := b.Reg(ptx.U32)
+		b.MovSpec(ncta, ptx.SpecNCtaIdX)
+		b.Mul(ptx.U32, stride, ptx.R(ncta), ptx.R(ntid))
+		b.Mad(ptx.U32, idx, ptx.R(k), ptx.R(stride), ptx.R(gidx))
+	}
+	addr := b.AddrOf(pd, idx, 4)
+	loads := p.LoadsPerIter
+	if loads < 1 {
+		loads = 1
+	}
+	// Gap between the loads of one iteration, in bytes. Extra loads land in
+	// the same working-set-sized region (the data array has slack for the
+	// last block), so memory intensity rises without changing the footprint
+	// shape.
+	gap := int64(0)
+	if p.WSWords > 0 {
+		gap = int64(p.WSWords/loads) * 4
+	} else {
+		gap = int64(p.Block) * 4
+	}
+	v := b.Reg(ptx.F32)
+	b.Ld(ptx.SpaceGlobal, ptx.F32, v, ptx.MemReg(addr, 0))
+	for j := 1; j < loads; j++ {
+		vj := b.Reg(ptx.F32)
+		b.Ld(ptx.SpaceGlobal, ptx.F32, vj, ptx.MemReg(addr, int64(j)*gap))
+		b.Add(ptx.F32, v, ptx.R(v), ptx.R(vj))
+	}
+	if p.UseSFU {
+		b.Sfu(ptx.OpSqrt, ptx.F32, v, ptx.R(v))
+	}
+
+	// Dependent chain (arithmetic intensity).
+	t := b.Reg(ptx.F32)
+	b.Mov(ptx.F32, t, ptx.R(v))
+	for c := 0; c < p.Chain; c++ {
+		b.Mad(ptx.F32, t, ptx.R(t), ptx.FImm(1.0001), ptx.FImm(0.5))
+	}
+
+	// Divergent extra work for half the data values.
+	if p.Divergent > 0 {
+		pd2 := b.Reg(ptx.Pred)
+		b.Setp(ptx.CmpGt, ptx.F32, pd2, ptx.R(v), ptx.FImm(2.0))
+		b.BraIf(pd2, true, "SKIPDIV") // @!p bra
+		for c := 0; c < p.Divergent; c++ {
+			b.Mad(ptx.F32, t, ptx.R(t), ptx.FImm(0.999), ptx.FImm(0.125))
+		}
+		b.Label("SKIPDIV")
+	}
+
+	// Touch every accumulator each iteration: this is what makes register
+	// pressure expensive to relieve by spilling (spills land in the hot
+	// loop).
+	for _, r := range accs {
+		b.Mad(ptx.F32, r, ptx.R(r), ptx.FImm(1.0), ptx.R(t))
+	}
+
+	b.Add(ptx.U32, k, ptx.R(k), ptx.Imm(1))
+	b.Bra("INNER")
+	// Cold accumulators are touched once per sweep (outer-loop depth).
+	b.Label("AFTER")
+	for _, r := range cold {
+		b.Mad(ptx.F32, r, ptx.R(r), ptx.FImm(1.0), ptx.FImm(0.25))
+	}
+	b.Add(ptx.U32, it, ptx.R(it), ptx.Imm(1))
+	b.Bra("OUTER")
+	b.Label("END")
+
+	// Reduce the accumulators and store per-thread results.
+	sum := b.Reg(ptx.F32)
+	b.Mov(ptx.F32, sum, ptx.FImm(0))
+	for _, r := range accs {
+		b.Add(ptx.F32, sum, ptx.R(sum), ptx.R(r))
+	}
+	for _, r := range cold {
+		b.Add(ptx.F32, sum, ptx.R(sum), ptx.R(r))
+	}
+	gidx := b.GlobalIndex()
+	oaddr := b.AddrOf(po, gidx, 4)
+	b.St(ptx.SpaceGlobal, ptx.F32, ptx.MemReg(oaddr, 0), ptx.R(sum))
+	b.Exit()
+	return b.Kernel()
+}
