@@ -1,0 +1,29 @@
+# Developer entry points. `make ci` is the full local gate: vet, build,
+# race-enabled tests, and a short fuzz smoke over the PTX parsers.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz runs of the kernel and module parsers (no-panic + print/parse
+# round-trip properties). Seeds come from the workload kernels.
+fuzz-smoke:
+	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParseModule -fuzztime=$(FUZZTIME)
+
+ci: vet build race fuzz-smoke

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,7 @@ func main() {
 	check(err)
 	kernel, err := ptx.Parse(string(src))
 	check(err)
-	check(kernel.Validate())
+	check(ptx.Verify(kernel, "parse"))
 
 	arch := gpusim.FermiConfig()
 	if *archFlag == "kepler" {
@@ -99,7 +100,24 @@ func main() {
 	sim, err := gpusim.NewSimulator(arch, mem, launch)
 	check(err)
 	st, err := sim.Run()
-	check(err)
+	if err != nil {
+		var f *gpusim.Fault
+		if errors.As(err, &f) {
+			fmt.Fprintf(os.Stderr, "gpusim: simulation fault\n")
+			fmt.Fprintf(os.Stderr, "  kind    %s\n", f.Kind)
+			fmt.Fprintf(os.Stderr, "  kernel  %s\n", f.Kernel)
+			if f.PC >= 0 {
+				fmt.Fprintf(os.Stderr, "  pc      %d  (%s)\n", f.PC, f.Disasm)
+			}
+			if f.Warp >= 0 {
+				fmt.Fprintf(os.Stderr, "  warp    %d (block %d)\n", f.Warp, f.Block)
+			}
+			fmt.Fprintf(os.Stderr, "  cycle   %d\n", f.Cycle)
+			fmt.Fprintf(os.Stderr, "  detail  %v\n", err)
+			os.Exit(1)
+		}
+		check(err)
+	}
 
 	fmt.Printf("kernel           %s\n", kernel.Name)
 	fmt.Printf("cycles           %d\n", st.Cycles)

@@ -116,6 +116,9 @@ type Decision struct {
 // pruning, per-candidate register allocation and spilling optimization, and
 // TPSC selection.
 func Optimize(app App, opts Options) (*Decision, error) {
+	if err := ptx.Verify(app.Kernel, "input"); err != nil {
+		return nil, err
+	}
 	arch := opts.Arch
 	a, err := Analyze(app, arch)
 	if err != nil {
@@ -270,6 +273,9 @@ func SpareShm(arch gpusim.Config, shmUsed int64, tlp int) int64 {
 // RunMode builds and simulates the kernel for one comparison mode,
 // returning the stats and the effective (reg, TLP) configuration.
 func RunMode(app App, mode Mode, opts Options) (gpusim.Stats, *Decision, error) {
+	if err := ptx.Verify(app.Kernel, "input"); err != nil {
+		return gpusim.Stats{}, nil, err
+	}
 	arch := opts.Arch
 	switch mode {
 	case ModeMaxTLP, ModeOptTLP:

@@ -84,6 +84,13 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations. Zero means 200M.
 	MaxCycles int64
+	// StallWindow is the idle watchdog: if no scheduler issues an
+	// instruction for this many consecutive cycles, the simulation aborts
+	// with a FaultWatchdogStall instead of spinning to MaxCycles. Zero
+	// means 1M cycles — far beyond any legitimate memory-system stall
+	// (bounded by DRAM latency and queueing) but early enough to make a
+	// wedged machine cheap to diagnose.
+	StallWindow int64
 }
 
 // FermiConfig returns the Fermi-like configuration of paper Table 2:
@@ -138,6 +145,13 @@ func (c Config) maxCycles() int64 {
 		return c.MaxCycles
 	}
 	return 200_000_000
+}
+
+func (c Config) stallWindow() int64 {
+	if c.StallWindow > 0 {
+		return c.StallWindow
+	}
+	return 1_000_000
 }
 
 // Occupancy returns the maximum number of thread blocks that can execute

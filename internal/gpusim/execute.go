@@ -66,14 +66,14 @@ func (s *Simulator) execute(w *warp) {
 	isMem := false
 	switch {
 	case in.Op.IsMemory() && in.Space != ptx.SpaceParam:
-		latency, isMem = s.execMemory(w, in, execMask)
+		latency, isMem = s.execMemory(w, pc, in, execMask)
 	case in.Op.IsMemory(): // ld.param: constant-cache cost
-		s.execFunctional(w, in, execMask)
+		s.execFunctional(w, pc, in, execMask)
 	case in.Op.IsSFU():
 		latency = int64(s.cfg.SFULat)
-		s.execFunctional(w, in, execMask)
+		s.execFunctional(w, pc, in, execMask)
 	default:
-		s.execFunctional(w, in, execMask)
+		s.execFunctional(w, pc, in, execMask)
 	}
 
 	// Scoreboard the destination.
@@ -175,13 +175,21 @@ func (s *Simulator) releaseBarrier(bc *blockCtx) {
 }
 
 // execFunctional evaluates a non-memory instruction on all executing lanes.
-func (s *Simulator) execFunctional(w *warp, in *ptx.Inst, execMask uint64) {
+// A lane-level execution error becomes a structured FaultExec instead of
+// killing the process; the remaining lanes are skipped since the warp's
+// state is already suspect.
+func (s *Simulator) execFunctional(w *warp, pc int, in *ptx.Inst, execMask uint64) {
 	for l, th := range w.lanes {
 		if execMask&(1<<uint(l)) == 0 {
 			continue
 		}
 		if err := s.execLane(w, th, in); err != nil {
-			panic(fmt.Sprintf("gpusim: %s at %s: %v", s.kernel.Name, ptx.FormatInst(s.kernel, w.stack[len(w.stack)-1].pc), err))
+			s.setFault(&Fault{
+				Kind: FaultExec, PC: pc,
+				Warp: w.id, Block: w.block.id, Lane: l,
+				Err: err,
+			})
+			return
 		}
 	}
 }
@@ -289,12 +297,34 @@ func (s *Simulator) execLane(w *warp, th *thread, in *ptx.Inst) error {
 	return nil
 }
 
+// nullPageBytes is the reserved low region of the global address space:
+// accesses under it indicate an uninitialized or corrupted pointer
+// (Memory.Alloc never hands out addresses this low).
+const nullPageBytes = 4096
+
+// memFault records an out-of-bounds (or null-page) access as a structured
+// fault carrying the full location context.
+func (s *Simulator) memFault(kind FaultKind, w *warp, pc, lane int, space ptx.Space, addr uint64, size int, limit int64) {
+	s.setFault(&Fault{
+		Kind: kind, PC: pc,
+		Warp: w.id, Block: w.block.id, Lane: lane,
+		Space: space, Addr: addr, Size: size, Limit: limit,
+	})
+}
+
+// inBounds checks addr+size against a non-negative byte limit without
+// overflow on addr+size.
+func inBounds(addr uint64, size int, limit int64) bool {
+	return uint64(size) <= uint64(limit) && addr <= uint64(limit)-uint64(size)
+}
+
 // execMemory performs a global/local/shared load or store: functional
 // effects now, returning the latency until the destination is ready and
-// whether it counts as a memory dependence.
-func (s *Simulator) execMemory(w *warp, in *ptx.Inst, execMask uint64) (int64, bool) {
-	top := &w.stack[len(w.stack)-1]
-	plan := s.planFor(w, top.pc, in)
+// whether it counts as a memory dependence. Accesses outside the declared
+// local frame or shared segment (and global accesses inside the null page)
+// raise a structured fault instead of silently growing the backing store.
+func (s *Simulator) execMemory(w *warp, pc int, in *ptx.Inst, execMask uint64) (int64, bool) {
+	plan := s.planFor(w, pc, in)
 	w.hasPlan = false // consumed; loops must not reuse stale addresses
 
 	// Functional access per lane.
@@ -310,6 +340,10 @@ func (s *Simulator) execMemory(w *warp, in *ptx.Inst, execMask uint64) (int64, b
 		addr := s.resolveAddr(th, mem, in.Space)
 		switch in.Space {
 		case ptx.SpaceGlobal:
+			if addr < nullPageBytes {
+				s.memFault(FaultNullGlobal, w, pc, l, in.Space, addr, size, nullPageBytes)
+				return int64(s.cfg.ALULat), false
+			}
 			if in.Op == ptx.OpLd {
 				th.regs[in.Dst.Reg] = s.mem.Read(addr, size)
 				s.stats.GlobalLoads++
@@ -318,7 +352,11 @@ func (s *Simulator) execMemory(w *warp, in *ptx.Inst, execMask uint64) (int64, b
 				s.stats.GlobalStores++
 			}
 		case ptx.SpaceLocal:
-			th.local = growTo(th.local, int(addr)+size)
+			limit := int64(len(th.local))
+			if !inBounds(addr, size, limit) {
+				s.memFault(FaultMemOOB, w, pc, l, in.Space, addr, size, limit)
+				return int64(s.cfg.ALULat), false
+			}
 			if in.Op == ptx.OpLd {
 				th.regs[in.Dst.Reg] = readLE(th.local[addr:], size)
 				s.stats.LocalLoads++
@@ -327,7 +365,14 @@ func (s *Simulator) execMemory(w *warp, in *ptx.Inst, execMask uint64) (int64, b
 				s.stats.LocalStores++
 			}
 		case ptx.SpaceShared:
-			w.block.shared = growTo(w.block.shared, int(addr)+size)
+			// The addressable segment is what the kernel declares; the
+			// occupancy ballast (Launch.ExtraSharedBytes) reserves space
+			// but is never a legal target.
+			limit := s.kernel.SharedBytes()
+			if !inBounds(addr, size, limit) {
+				s.memFault(FaultMemOOB, w, pc, l, in.Space, addr, size, limit)
+				return int64(s.cfg.ALULat), false
+			}
 			if in.Op == ptx.OpLd {
 				th.regs[in.Dst.Reg] = readLE(w.block.shared[addr:], size)
 				s.stats.SharedLoads++
@@ -445,15 +490,6 @@ func (s *Simulator) chargeDRAM(bytes int64) {
 	}
 	s.dramFree += transfer
 	s.stats.DRAMBytes += bytes
-}
-
-func growTo(b []byte, n int) []byte {
-	if len(b) >= n {
-		return b
-	}
-	out := make([]byte, n)
-	copy(out, b)
-	return out
 }
 
 func readLE(b []byte, n int) uint64 {

@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -69,6 +70,94 @@ func TestMaxCyclesGuard(t *testing.T) {
 	}
 	if _, err := sim.Run(); err == nil {
 		t.Fatal("livelock not detected")
+	}
+}
+
+func TestOutOfBoundsLocalAccess(t *testing.T) {
+	// A store past the per-thread local frame must fault with full
+	// attribution (pc, warp, cycle, space, limit), not corrupt memory.
+	b := ptx.NewBuilder("ooblocal")
+	b.Param("out", ptx.U64)
+	b.LocalArray("frame", 16)
+	addr := b.Reg(ptx.U64)
+	v := b.Reg(ptx.U32)
+	b.Mov(ptx.U64, addr, ptx.Imm(1024)) // far past the 16-byte frame
+	b.Mov(ptx.U32, v, ptx.Imm(7))
+	b.St(ptx.SpaceLocal, ptx.U32, ptx.MemReg(addr, 0), ptx.R(v))
+	b.Exit()
+	k := b.Kernel()
+	if err := ptx.Verify(k, "test"); err != nil {
+		t.Fatalf("dynamically-OOB kernel must pass static verification: %v", err)
+	}
+	sim, err := NewSimulator(FermiConfig(), NewMemory(), Launch{
+		Kernel: k, Grid: 1, Block: 32, Params: []uint64{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run()
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultMemOOB {
+		t.Fatalf("got %v, want a mem-out-of-bounds fault", err)
+	}
+	if f.Space != ptx.SpaceLocal {
+		t.Errorf("fault space = %s, want local", f.Space)
+	}
+	if f.Addr != 1024 || f.Size != 4 || f.Limit != 16 {
+		t.Errorf("fault addr/size/limit = %#x/%d/%d, want 0x400/4/16", f.Addr, f.Size, f.Limit)
+	}
+	if f.PC < 0 || f.Warp < 0 || f.Cycle <= 0 {
+		t.Errorf("fault attribution incomplete: pc=%d warp=%d cycle=%d", f.PC, f.Warp, f.Cycle)
+	}
+	if !strings.Contains(f.Error(), "st.local") {
+		t.Errorf("fault %q does not disassemble the instruction", f.Error())
+	}
+}
+
+func TestOutOfBoundsSharedAccess(t *testing.T) {
+	// A shared store past the kernel's declared shared segment must fault —
+	// including when the launch adds occupancy-ballast shared bytes, which
+	// are never a legal access target.
+	build := func() *ptx.Kernel {
+		b := ptx.NewBuilder("oobshared")
+		b.Param("out", ptx.U64)
+		b.SharedArray("tile", 32)
+		addr := b.Reg(ptx.U32) // shared addresses may be 32-bit offsets
+		v := b.Reg(ptx.U32)
+		b.Mov(ptx.U32, addr, ptx.Imm(1000))
+		b.Mov(ptx.U32, v, ptx.Imm(7))
+		b.St(ptx.SpaceShared, ptx.U32, ptx.MemReg(addr, 0), ptx.R(v))
+		b.Exit()
+		return b.Kernel()
+	}
+	for _, tc := range []struct {
+		name    string
+		ballast int64
+	}{
+		{"no ballast", 0},
+		{"with occupancy ballast", 4096},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sim, err := NewSimulator(FermiConfig(), NewMemory(), Launch{
+				Kernel: build(), Grid: 1, Block: 32, Params: []uint64{0},
+				ExtraSharedBytes: tc.ballast,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = sim.Run()
+			var f *Fault
+			if !errors.As(err, &f) || f.Kind != FaultMemOOB {
+				t.Fatalf("got %v, want a mem-out-of-bounds fault", err)
+			}
+			if f.Space != ptx.SpaceShared || f.Limit != 32 {
+				t.Errorf("fault space/limit = %s/%d, want shared/32 (ballast must stay unaddressable)",
+					f.Space, f.Limit)
+			}
+			if f.PC < 0 || f.Warp < 0 || f.Cycle <= 0 {
+				t.Errorf("fault attribution incomplete: pc=%d warp=%d cycle=%d", f.PC, f.Warp, f.Cycle)
+			}
+		})
 	}
 }
 

@@ -55,6 +55,24 @@ const (
 	stallEmpty
 )
 
+func (r stallReason) String() string {
+	switch r {
+	case stallNone:
+		return "ready"
+	case stallCongestion:
+		return "mem-congestion"
+	case stallMemData:
+		return "mem-data"
+	case stallALU:
+		return "alu-data"
+	case stallBarrier:
+		return "barrier"
+	case stallEmpty:
+		return "empty"
+	}
+	return fmt.Sprintf("stall(%d)", uint8(r))
+}
+
 type simtEntry struct {
 	pc   int
 	rpc  int
@@ -127,6 +145,10 @@ type Simulator struct {
 
 	maxConc int
 	stats   Stats
+
+	// fault records the first structured execution fault; Run stops and
+	// returns it instead of executing past corrupted state.
+	fault *Fault
 }
 
 // NewSimulator prepares a launch. The kernel must validate; the number of
@@ -209,20 +231,59 @@ func buildParamBlock(k *ptx.Kernel, vals []uint64) []byte {
 }
 
 // Run simulates until every block of the grid has completed and returns the
-// collected statistics.
+// collected statistics. Execution failures — exec faults, out-of-bounds
+// accesses, barrier deadlocks, stalls, livelock — surface as a *Fault.
 func (s *Simulator) Run() (Stats, error) {
 	for s.nextBlock < s.launch.Grid && len(s.blocks) < s.maxConc {
 		s.launchBlock()
 	}
 	maxCycles := s.cfg.maxCycles()
+	stallWindow := s.cfg.stallWindow()
+	idle := int64(0)
 	for s.stats.BlocksCompleted < int64(s.launch.Grid) {
-		if s.now >= maxCycles {
-			return s.stats, fmt.Errorf("gpusim: exceeded %d cycles (livelock?)", maxCycles)
+		if s.fault != nil {
+			break
 		}
-		s.step()
+		if s.now >= maxCycles {
+			s.setFault(&Fault{
+				Kind: FaultLivelock, PC: -1, Warp: -1, Block: -1, Lane: -1,
+				Detail: fmt.Sprintf("exceeded %d cycles without retiring the grid", maxCycles),
+				Warps:  s.warpStates(),
+			})
+			break
+		}
+		if s.step() {
+			idle = 0
+		} else {
+			idle++
+			// An idle machine cannot un-wedge itself without an external
+			// event, and the only external events are L1/MSHR expiries
+			// bounded by the DRAM latency. Probe the barrier state early
+			// (deadlocked warps never wake), and give anything else a full
+			// stall window before declaring the machine wedged.
+			if idle%64 == 0 && s.barrierDeadlocked() {
+				s.setFault(&Fault{
+					Kind: FaultBarrierDeadlock, PC: -1, Warp: -1, Block: -1, Lane: -1,
+					Detail: "all live warps blocked at a barrier with no arrivals possible",
+					Warps:  s.warpStates(),
+				})
+				break
+			}
+			if idle >= stallWindow {
+				s.setFault(&Fault{
+					Kind: FaultWatchdogStall, PC: -1, Warp: -1, Block: -1, Lane: -1,
+					Detail: fmt.Sprintf("no instruction issued for %d cycles", idle),
+					Warps:  s.warpStates(),
+				})
+				break
+			}
+		}
 	}
 	s.stats.Cycles = s.now
 	s.stats.L1DistinctLines = int64(len(s.l1.seen))
+	if s.fault != nil {
+		return s.stats, s.fault
+	}
 	return s.stats, nil
 }
 
@@ -317,19 +378,24 @@ func (s *Simulator) retireBlock(bc *blockCtx) {
 }
 
 // step advances one cycle: each scheduler issues at most one warp
-// instruction.
-func (s *Simulator) step() {
+// instruction. It reports whether any scheduler issued (the idle-watchdog
+// signal).
+func (s *Simulator) step() bool {
 	s.l1.expire(s.now)
+	issued := false
 	for sched := 0; sched < s.cfg.NumSchedulers; sched++ {
-		s.issueFrom(sched)
+		if s.issueFrom(sched) {
+			issued = true
+		}
 	}
 	s.now++
+	return issued
 }
 
-// issueFrom lets scheduler sched pick and issue one warp. GTO stays on the
-// current warp while it can issue, otherwise falls back to the oldest ready
-// warp; LRR rotates a cursor.
-func (s *Simulator) issueFrom(sched int) {
+// issueFrom lets scheduler sched pick and issue one warp, reporting whether
+// one issued. GTO stays on the current warp while it can issue, otherwise
+// falls back to the oldest ready warp; LRR rotates a cursor.
+func (s *Simulator) issueFrom(sched int) bool {
 	list := s.schedWarps[sched]
 	n := 0
 	for _, w := range list {
@@ -339,7 +405,7 @@ func (s *Simulator) issueFrom(sched int) {
 	}
 	if n == 0 {
 		s.stats.StallEmpty++
-		return
+		return false
 	}
 
 	worst := stallEmpty
@@ -363,7 +429,7 @@ func (s *Simulator) issueFrom(sched int) {
 	if s.cfg.Scheduler == SchedGTO {
 		if cw := s.current[sched]; cw != nil && !cw.done {
 			if try(cw) {
-				return
+				return true
 			}
 		}
 		for _, w := range list {
@@ -371,7 +437,7 @@ func (s *Simulator) issueFrom(sched int) {
 				continue
 			}
 			if try(w) {
-				return
+				return true
 			}
 		}
 	} else {
@@ -380,7 +446,7 @@ func (s *Simulator) issueFrom(sched int) {
 			w := list[(off+i)%len(list)]
 			if try(w) {
 				s.lrrNext[sched] = (off + i + 1) % len(list)
-				return
+				return true
 			}
 		}
 	}
@@ -398,6 +464,7 @@ func (s *Simulator) issueFrom(sched int) {
 		s.stats.StallEmpty++
 	}
 	s.current[sched] = nil
+	return false
 }
 
 // canIssue checks structural and data hazards for the warp's next

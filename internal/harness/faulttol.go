@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FaultRecord attributes one captured failure to the experiment and app it
+// occurred in, for the session-level fault summary.
+type FaultRecord struct {
+	Experiment string // table ID (e.g. "fig13"), or experiment ID for whole-experiment failures
+	App        string // app abbreviation, or "" for whole-experiment failures
+	Err        error
+}
+
+// capture runs fn and converts a panic into an ordinary error, so one
+// broken app or experiment cannot take down the whole figure run.
+func capture(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// perApp runs one app's contribution to a table with graceful degradation:
+// on error (or panic) it appends an ERROR row and a note naming the app,
+// records the fault on the session, and reports false so the caller skips
+// that app's aggregate contribution. The remaining apps still render.
+func (s *Session) perApp(t *Table, abbr string, fn func() error) bool {
+	err := capture(fn)
+	if err == nil {
+		return true
+	}
+	row := make([]string, len(t.Columns))
+	if len(row) == 0 {
+		row = []string{abbr, "ERROR"}
+	} else {
+		row[0] = abbr
+		if len(row) > 1 {
+			row[1] = "ERROR"
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	t.Notes = append(t.Notes, fmt.Sprintf("%s failed: %v", abbr, err))
+	s.Faults = append(s.Faults, FaultRecord{Experiment: t.ID, App: abbr, Err: err})
+	return false
+}
+
+// recordFault notes a whole-experiment failure on the session.
+func (s *Session) recordFault(experiment string, err error) {
+	s.Faults = append(s.Faults, FaultRecord{Experiment: experiment, App: "", Err: err})
+}
+
+// FaultSummary renders every fault captured during the session, or nil when
+// the session ran clean.
+func (s *Session) FaultSummary() *Table {
+	if len(s.Faults) == 0 {
+		return nil
+	}
+	t := &Table{
+		ID:      "faults",
+		Title:   fmt.Sprintf("Fault summary (%d captured)", len(s.Faults)),
+		Columns: []string{"experiment", "app", "error"},
+	}
+	recs := append([]FaultRecord(nil), s.Faults...)
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Experiment != recs[j].Experiment {
+			return recs[i].Experiment < recs[j].Experiment
+		}
+		return recs[i].App < recs[j].App
+	})
+	for _, r := range recs {
+		app := r.App
+		if app == "" {
+			app = "-"
+		}
+		msg := r.Err.Error()
+		// Keep the summary table one line per fault; the full multi-line
+		// fault (warp states etc.) is already in the figure's notes.
+		if i := strings.IndexByte(msg, '\n'); i >= 0 {
+			msg = msg[:i] + " ..."
+		}
+		t.AddRow(r.Experiment, app, msg)
+	}
+	return t
+}

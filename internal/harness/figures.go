@@ -21,14 +21,17 @@ func (s *Session) Table1() (*Table, error) {
 		Columns: []string{"app", "MaxReg", "MinReg", "DefaultReg", "BlockSize", "ShmSize", "MaxTLP", "OptTLP"},
 	}
 	for _, p := range workloads.Sensitive() {
-		a, _, err := s.Analysis(p)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(p.Abbr,
-			fmt.Sprint(a.MaxReg), fmt.Sprint(a.MinReg), fmt.Sprint(a.DefaultReg),
-			fmt.Sprint(a.BlockSize), fmt.Sprint(a.ShmSize),
-			fmt.Sprint(a.MaxTLP), fmt.Sprint(a.OptTLP))
+		s.perApp(t, p.Abbr, func() error {
+			a, _, err := s.Analysis(p)
+			if err != nil {
+				return err
+			}
+			t.AddRow(p.Abbr,
+				fmt.Sprint(a.MaxReg), fmt.Sprint(a.MinReg), fmt.Sprint(a.DefaultReg),
+				fmt.Sprint(a.BlockSize), fmt.Sprint(a.ShmSize),
+				fmt.Sprint(a.MaxTLP), fmt.Sprint(a.OptTLP))
+			return nil
+		})
 	}
 	return t, nil
 }
@@ -82,22 +85,25 @@ func (s *Session) Figure1() (*Table, error) {
 	}
 	var speeds, fracs []float64
 	for _, p := range workloads.Sensitive() {
-		a, _, err := s.Analysis(p)
-		if err != nil {
-			return nil, err
-		}
-		sp, err := s.Speedup(p, core.ModeMaxTLP)
-		if err != nil {
-			return nil, err
-		}
-		// Normalized to MaxTLP: OptTLP speedup = 1/sp.
-		opt := 1 / sp
-		speeds = append(speeds, opt)
-		utilMax := core.RegisterUtilization(s.Arch, a.MaxTLP, a.BlockSize, a.DefaultReg)
-		utilOpt := core.RegisterUtilization(s.Arch, a.OptTLP, a.BlockSize, a.DefaultReg)
-		frac := float64(a.OptTLP) / float64(a.MaxTLP)
-		fracs = append(fracs, frac)
-		t.AddRow(p.Abbr, "1.000", f(opt), f(utilMax), f(utilOpt), f(frac))
+		s.perApp(t, p.Abbr, func() error {
+			a, _, err := s.Analysis(p)
+			if err != nil {
+				return err
+			}
+			sp, err := s.Speedup(p, core.ModeMaxTLP)
+			if err != nil {
+				return err
+			}
+			// Normalized to MaxTLP: OptTLP speedup = 1/sp.
+			opt := 1 / sp
+			speeds = append(speeds, opt)
+			utilMax := core.RegisterUtilization(s.Arch, a.MaxTLP, a.BlockSize, a.DefaultReg)
+			utilOpt := core.RegisterUtilization(s.Arch, a.OptTLP, a.BlockSize, a.DefaultReg)
+			frac := float64(a.OptTLP) / float64(a.MaxTLP)
+			fracs = append(fracs, frac)
+			t.AddRow(p.Abbr, "1.000", f(opt), f(utilMax), f(utilOpt), f(frac))
+			return nil
+		})
 	}
 	t.AddRow("GEOMEAN", "1.000", f(Geomean(speeds)), "", "", f(Geomean(fracs)))
 	t.Notes = append(t.Notes, "paper: OptTLP improves performance 1.42X average using ~55% of MaxTLP threads")
@@ -215,16 +221,19 @@ func (s *Session) Figure5() (*Table, error) {
 		Columns: []string{"app", "L1 hit MaxTLP", "L1 hit OptTLP", "congestion MaxTLP", "congestion OptTLP"},
 	}
 	for _, p := range workloads.Sensitive() {
-		maxSt, _, err := s.Mode(p, core.ModeMaxTLP)
-		if err != nil {
-			return nil, err
-		}
-		optSt, _, err := s.Mode(p, core.ModeOptTLP)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(p.Abbr, f(maxSt.L1HitRate()), f(optSt.L1HitRate()),
-			fmt.Sprint(maxSt.StallCongestion), fmt.Sprint(optSt.StallCongestion))
+		s.perApp(t, p.Abbr, func() error {
+			maxSt, _, err := s.Mode(p, core.ModeMaxTLP)
+			if err != nil {
+				return err
+			}
+			optSt, _, err := s.Mode(p, core.ModeOptTLP)
+			if err != nil {
+				return err
+			}
+			t.AddRow(p.Abbr, f(maxSt.L1HitRate()), f(optSt.L1HitRate()),
+				fmt.Sprint(maxSt.StallCongestion), fmt.Sprint(optSt.StallCongestion))
+			return nil
+		})
 	}
 	t.Notes = append(t.Notes, "paper: throttling raises hit rate and cuts congestion stalls on cache-sensitive apps")
 	return t, nil
@@ -283,25 +292,30 @@ func (s *Session) Figure7() (*Table, error) {
 	}
 	var regs, shms []float64
 	for _, p := range workloads.All() {
-		a, err := core.Analyze(s.App(p), s.Arch)
-		if err != nil {
-			return nil, err
-		}
-		ru := core.RegisterUtilization(s.Arch, a.MaxTLP, a.BlockSize, a.DefaultReg)
-		su := float64(a.ShmSize*int64(a.MaxTLP)) / float64(s.Arch.SharedMemBytes)
-		if su > 1 {
-			su = 1
-		}
-		regs = append(regs, ru)
-		shms = append(shms, su)
-		t.AddRow(p.Abbr, f(ru), f(su))
+		s.perApp(t, p.Abbr, func() error {
+			a, err := core.Analyze(s.App(p), s.Arch)
+			if err != nil {
+				return err
+			}
+			ru := core.RegisterUtilization(s.Arch, a.MaxTLP, a.BlockSize, a.DefaultReg)
+			su := float64(a.ShmSize*int64(a.MaxTLP)) / float64(s.Arch.SharedMemBytes)
+			if su > 1 {
+				su = 1
+			}
+			regs = append(regs, ru)
+			shms = append(shms, su)
+			t.AddRow(p.Abbr, f(ru), f(su))
+			return nil
+		})
 	}
 	var rsum, ssum float64
 	for i := range regs {
 		rsum += regs[i]
 		ssum += shms[i]
 	}
-	t.AddRow("AVERAGE", f(rsum/float64(len(regs))), f(ssum/float64(len(shms))))
+	if len(regs) > 0 {
+		t.AddRow("AVERAGE", f(rsum/float64(len(regs))), f(ssum/float64(len(shms))))
+	}
 	t.Notes = append(t.Notes, "paper: shared memory is far less utilized than registers (3.8% vs 65.5%) — the slack Algorithm 1 exploits")
 	return t, nil
 }

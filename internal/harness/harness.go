@@ -92,6 +92,9 @@ type Session struct {
 	modeRes  map[string]modeResult
 	// Elapsed accumulates profiling wall-clock for the overhead report.
 	ProfileWall time.Duration
+	// Faults collects every per-app and per-experiment failure captured by
+	// the graceful-degradation harness (see FaultSummary).
+	Faults []FaultRecord
 }
 
 type modeResult struct {

@@ -19,23 +19,24 @@ func (s *Session) Figure13() (*Table, error) {
 	}
 	var maxs, locals, crats []float64
 	for _, p := range workloads.Sensitive() {
-		row := []string{p.Abbr}
-		for _, m := range []core.Mode{core.ModeMaxTLP, core.ModeOptTLP, core.ModeCRATLocal, core.ModeCRAT} {
-			sp, err := s.Speedup(p, m)
-			if err != nil {
-				return nil, err
+		s.perApp(t, p.Abbr, func() error {
+			row := []string{p.Abbr}
+			var vals [4]float64
+			for i, m := range []core.Mode{core.ModeMaxTLP, core.ModeOptTLP, core.ModeCRATLocal, core.ModeCRAT} {
+				sp, err := s.Speedup(p, m)
+				if err != nil {
+					return err
+				}
+				row = append(row, f(sp))
+				vals[i] = sp
 			}
-			row = append(row, f(sp))
-			switch m {
-			case core.ModeMaxTLP:
-				maxs = append(maxs, sp)
-			case core.ModeCRATLocal:
-				locals = append(locals, sp)
-			case core.ModeCRAT:
-				crats = append(crats, sp)
-			}
-		}
-		t.AddRow(row...)
+			// Only a fully evaluated app contributes to the geomeans.
+			maxs = append(maxs, vals[0])
+			locals = append(locals, vals[2])
+			crats = append(crats, vals[3])
+			t.AddRow(row...)
+			return nil
+		})
 	}
 	t.AddRow("GEOMEAN", f(Geomean(maxs)), "1.000", f(Geomean(locals)), f(Geomean(crats)))
 	t.Notes = append(t.Notes,
@@ -56,20 +57,25 @@ func (s *Session) Figure14() (*Table, error) {
 	var sumMax, sumCrat float64
 	n := 0
 	for _, p := range workloads.Sensitive() {
-		_, dMax, err := s.Mode(p, core.ModeMaxTLP)
-		if err != nil {
-			return nil, err
-		}
-		_, dCrat, err := s.Mode(p, core.ModeCRAT)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(p.Abbr, fmt.Sprint(dMax.Chosen.TLP), fmt.Sprint(dCrat.Chosen.TLP))
-		sumMax += float64(dMax.Chosen.TLP)
-		sumCrat += float64(dCrat.Chosen.TLP)
-		n++
+		s.perApp(t, p.Abbr, func() error {
+			_, dMax, err := s.Mode(p, core.ModeMaxTLP)
+			if err != nil {
+				return err
+			}
+			_, dCrat, err := s.Mode(p, core.ModeCRAT)
+			if err != nil {
+				return err
+			}
+			t.AddRow(p.Abbr, fmt.Sprint(dMax.Chosen.TLP), fmt.Sprint(dCrat.Chosen.TLP))
+			sumMax += float64(dMax.Chosen.TLP)
+			sumCrat += float64(dCrat.Chosen.TLP)
+			n++
+			return nil
+		})
 	}
-	t.AddRow("AVERAGE", f(sumMax/float64(n)), f(sumCrat/float64(n)))
+	if n > 0 {
+		t.AddRow("AVERAGE", f(sumMax/float64(n)), f(sumCrat/float64(n)))
+	}
 	t.Notes = append(t.Notes, "paper: MaxTLP averages 5.1 blocks/SM, CRAT 2.6")
 	return t, nil
 }
@@ -85,26 +91,31 @@ func (s *Session) Figure15() (*Table, error) {
 	var sumOpt, sumCrat float64
 	n := 0
 	for _, p := range workloads.Sensitive() {
-		a, _, err := s.Analysis(p)
-		if err != nil {
-			return nil, err
-		}
-		_, dOpt, err := s.Mode(p, core.ModeOptTLP)
-		if err != nil {
-			return nil, err
-		}
-		_, dCrat, err := s.Mode(p, core.ModeCRAT)
-		if err != nil {
-			return nil, err
-		}
-		uo := core.RegisterUtilization(s.Arch, dOpt.Chosen.TLP, a.BlockSize, dOpt.Chosen.Reg)
-		uc := core.RegisterUtilization(s.Arch, dCrat.Chosen.TLP, a.BlockSize, dCrat.Chosen.UsedRegs())
-		t.AddRow(p.Abbr, f(uo), f(uc))
-		sumOpt += uo
-		sumCrat += uc
-		n++
+		s.perApp(t, p.Abbr, func() error {
+			a, _, err := s.Analysis(p)
+			if err != nil {
+				return err
+			}
+			_, dOpt, err := s.Mode(p, core.ModeOptTLP)
+			if err != nil {
+				return err
+			}
+			_, dCrat, err := s.Mode(p, core.ModeCRAT)
+			if err != nil {
+				return err
+			}
+			uo := core.RegisterUtilization(s.Arch, dOpt.Chosen.TLP, a.BlockSize, dOpt.Chosen.Reg)
+			uc := core.RegisterUtilization(s.Arch, dCrat.Chosen.TLP, a.BlockSize, dCrat.Chosen.UsedRegs())
+			t.AddRow(p.Abbr, f(uo), f(uc))
+			sumOpt += uo
+			sumCrat += uc
+			n++
+			return nil
+		})
 	}
-	t.AddRow("AVERAGE", f(sumOpt/float64(n)), f(sumCrat/float64(n)))
+	if n > 0 {
+		t.AddRow("AVERAGE", f(sumOpt/float64(n)), f(sumCrat/float64(n)))
+	}
 	t.Notes = append(t.Notes, "paper: utilization unchanged for STM/SPMV/KMN/LBM, improved 15-27% elsewhere")
 	return t, nil
 }
@@ -119,20 +130,23 @@ func (s *Session) Figure16() (*Table, error) {
 	}
 	var ratios []float64
 	for _, p := range workloads.Sensitive() {
-		stL, _, err := s.Mode(p, core.ModeCRATLocal)
-		if err != nil {
-			return nil, err
-		}
-		if stL.LocalOps() == 0 {
-			continue // no residual spills: not part of this figure
-		}
-		stC, _, err := s.Mode(p, core.ModeCRAT)
-		if err != nil {
-			return nil, err
-		}
-		ratio := float64(stC.LocalOps()) / float64(stL.LocalOps())
-		ratios = append(ratios, ratio)
-		t.AddRow(p.Abbr, "1.000", f(ratio), f(1-ratio))
+		s.perApp(t, p.Abbr, func() error {
+			stL, _, err := s.Mode(p, core.ModeCRATLocal)
+			if err != nil {
+				return err
+			}
+			if stL.LocalOps() == 0 {
+				return nil // no residual spills: not part of this figure
+			}
+			stC, _, err := s.Mode(p, core.ModeCRAT)
+			if err != nil {
+				return err
+			}
+			ratio := float64(stC.LocalOps()) / float64(stL.LocalOps())
+			ratios = append(ratios, ratio)
+			t.AddRow(p.Abbr, "1.000", f(ratio), f(1-ratio))
+			return nil
+		})
 	}
 	if len(ratios) > 0 {
 		sum := 0.0
@@ -157,25 +171,30 @@ func (s *Session) Energy() (*Table, error) {
 	}
 	var ratios []float64
 	for _, p := range workloads.Sensitive() {
-		stO, _, err := s.Mode(p, core.ModeOptTLP)
-		if err != nil {
-			return nil, err
-		}
-		stC, _, err := s.Mode(p, core.ModeCRAT)
-		if err != nil {
-			return nil, err
-		}
-		eo := model.Energy(s.Arch, stO)
-		ec := model.Energy(s.Arch, stC)
-		ratios = append(ratios, ec/eo)
-		t.AddRow(p.Abbr, fmt.Sprintf("%.2e", eo), fmt.Sprintf("%.2e", ec), f(ec/eo))
+		s.perApp(t, p.Abbr, func() error {
+			stO, _, err := s.Mode(p, core.ModeOptTLP)
+			if err != nil {
+				return err
+			}
+			stC, _, err := s.Mode(p, core.ModeCRAT)
+			if err != nil {
+				return err
+			}
+			eo := model.Energy(s.Arch, stO)
+			ec := model.Energy(s.Arch, stC)
+			ratios = append(ratios, ec/eo)
+			t.AddRow(p.Abbr, fmt.Sprintf("%.2e", eo), fmt.Sprintf("%.2e", ec), f(ec/eo))
+			return nil
+		})
 	}
-	sum := 0.0
-	for _, r := range ratios {
-		sum += r
+	if len(ratios) > 0 {
+		sum := 0.0
+		for _, r := range ratios {
+			sum += r
+		}
+		avg := sum / float64(len(ratios))
+		t.AddRow("AVERAGE", "", "", f(avg))
+		t.Notes = append(t.Notes, fmt.Sprintf("average saving %.1f%% (paper: 16.5%%)", (1-avg)*100))
 	}
-	avg := sum / float64(len(ratios))
-	t.AddRow("AVERAGE", "", "", f(avg))
-	t.Notes = append(t.Notes, fmt.Sprintf("average saving %.1f%% (paper: 16.5%%)", (1-avg)*100))
 	return t, nil
 }

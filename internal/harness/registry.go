@@ -110,6 +110,7 @@ func RunExperiments(ids []string, w io.Writer) error {
 		}
 	}
 
+	var failed []string
 	for _, e := range Experiments() {
 		if wanted != nil && !wanted[e.ID] {
 			continue
@@ -118,13 +119,48 @@ func RunExperiments(ids []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		tables, err := e.Run(s)
+		var tables []*Table
+		err = capture(func() error {
+			var runErr error
+			tables, runErr = e.Run(s)
+			return runErr
+		})
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			// One broken experiment must not take down the rest of the run:
+			// report it in place, record it, and keep going.
+			fmt.Fprintf(w, "== %s: %s ==\n  ERROR: %v\n\n", e.ID, e.Desc, err)
+			s.recordFault(e.ID, err)
+			failed = append(failed, e.ID)
+			continue
 		}
 		for _, t := range tables {
 			t.Render(w)
 		}
+	}
+	// Session-level fault summary: everything captured, per-app and
+	// per-experiment, across all architectures.
+	archs := make([]string, 0, len(sessions))
+	for a := range sessions {
+		archs = append(archs, a)
+	}
+	sort.Strings(archs)
+	for _, a := range archs {
+		if t := sessions[a].FaultSummary(); t != nil {
+			t.Render(w)
+		}
+	}
+	if len(failed) > 0 {
+		sort.Strings(failed)
+		return fmt.Errorf("harness: %d experiment(s) failed: %v", len(failed), failed)
+	}
+	// Per-app degradations keep the run going but must still fail the
+	// invocation: a CI caller should not see exit 0 with ERROR rows.
+	var faults int
+	for _, a := range archs {
+		faults += len(sessions[a].Faults)
+	}
+	if faults > 0 {
+		return fmt.Errorf("harness: completed with %d captured fault(s); see fault summary", faults)
 	}
 	return nil
 }

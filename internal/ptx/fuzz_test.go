@@ -1,0 +1,81 @@
+package ptx_test
+
+import (
+	"testing"
+
+	"crat/internal/ptx"
+	"crat/internal/workloads"
+)
+
+// seedCorpus returns the printed form of every workload kernel plus a few
+// handwritten sources, so the fuzzers start from realistic PTX.
+func seedCorpus() []string {
+	seeds := []string{
+		"",
+		".visible .entry k()\n{\n  exit;\n}\n",
+		".visible .entry k(.param .u64 out)\n{\n  .reg .u64 %rd<2>;\n  ld.param.u64 %rd0, [out];\n  exit;\n}\n",
+		".visible .entry k()\n{\n  .reg .pred %p<1>;\n  .reg .u32 %r<2>;\n  setp.lt.u32 %p0, %r0, 16;\n  @%p0 bra DONE;\n  add.u32 %r1, %r0, 1;\nDONE:\n  exit;\n}\n",
+		".visible .entry k()\n{\n  .shared .align 4 .b8 tile[64];\n  .reg .u32 %r<2>;\n  st.shared.u32 [tile+4], %r0;\n  bar.sync 0;\n  ld.shared.u32 %r1, [tile];\n  exit;\n}\n",
+	}
+	for _, p := range workloads.All() {
+		seeds = append(seeds, ptx.Print(p.App().Kernel))
+	}
+	return seeds
+}
+
+// FuzzParse asserts the parser never panics and that accepted kernels
+// round-trip: print(parse(src)) reaches a fixpoint after one normalization
+// (the printer renames registers densely, so the first reprint may differ
+// textually from the first print, but must then be stable).
+func FuzzParse(f *testing.F) {
+	for _, s := range seedCorpus() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := ptx.Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		p1 := ptx.Print(k)
+		k2, err := ptx.Parse(p1)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\nsource:\n%s\nprinted:\n%s", err, src, p1)
+		}
+		p2 := ptx.Print(k2)
+		k3, err := ptx.Parse(p2)
+		if err != nil {
+			t.Fatalf("normalized form does not reparse: %v\n%s", err, p2)
+		}
+		if p3 := ptx.Print(k3); p3 != p2 {
+			t.Fatalf("print not a fixpoint:\n--- second print:\n%s\n--- third print:\n%s", p2, p3)
+		}
+	})
+}
+
+// FuzzParseModule asserts the module parser never panics and module
+// round-trips are stable, same normalization rule as FuzzParse.
+func FuzzParseModule(f *testing.F) {
+	for _, s := range seedCorpus() {
+		f.Add(s)
+		f.Add("// comment\n" + s + "\n" + s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ptx.ParseModule(src)
+		if err != nil {
+			return
+		}
+		p1 := ptx.PrintModule(m)
+		m2, err := ptx.ParseModule(p1)
+		if err != nil {
+			t.Fatalf("printed module does not reparse: %v\n%s", err, p1)
+		}
+		p2 := ptx.PrintModule(m2)
+		m3, err := ptx.ParseModule(p2)
+		if err != nil {
+			t.Fatalf("normalized module does not reparse: %v\n%s", err, p2)
+		}
+		if p3 := ptx.PrintModule(m3); p3 != p2 {
+			t.Fatalf("module print not a fixpoint:\n%s\n---\n%s", p2, p3)
+		}
+	})
+}

@@ -1,9 +1,6 @@
 package ptx
 
-import (
-	"fmt"
-	"sort"
-)
+import "sort"
 
 // Param is a kernel parameter. Pointer parameters are declared .u64.
 type Param struct {
@@ -206,88 +203,11 @@ func (k *Kernel) RegCounts() (n32, n64, npred int) {
 // range, guard registers are predicates, branch targets resolve, memory
 // operands are well formed, operand register classes match the instruction
 // type where PTX requires it. It returns the first violation found.
+//
+// Validate is the pass-agnostic entry point; it delegates to Verify, which
+// additionally attributes failures to a pipeline stage.
 func (k *Kernel) Validate() error {
-	labels := make(map[string]int)
-	for i := range k.Insts {
-		if l := k.Insts[i].Label; l != "" {
-			if prev, dup := labels[l]; dup {
-				return fmt.Errorf("%s: label %q defined at inst %d and %d", k.Name, l, prev, i)
-			}
-			labels[l] = i
-		}
-	}
-	checkReg := func(i int, r Reg, what string) error {
-		if r < 0 || int(r) >= len(k.RegTypes) {
-			return fmt.Errorf("%s: inst %d: %s register %d out of range", k.Name, i, what, r)
-		}
-		return nil
-	}
-	for i := range k.Insts {
-		in := &k.Insts[i]
-		if in.Guard != NoReg {
-			if err := checkReg(i, in.Guard, "guard"); err != nil {
-				return err
-			}
-			if k.RegType(in.Guard) != Pred {
-				return fmt.Errorf("%s: inst %d: guard %d is not a predicate", k.Name, i, in.Guard)
-			}
-		}
-		if in.Op == OpBra {
-			if _, ok := labels[in.Target]; !ok {
-				return fmt.Errorf("%s: inst %d: branch to undefined label %q", k.Name, i, in.Target)
-			}
-		}
-		ops := make([]Operand, 0, 4)
-		ops = append(ops, in.Dst)
-		ops = append(ops, in.Srcs...)
-		for _, op := range ops {
-			switch op.Kind {
-			case OperandReg:
-				if err := checkReg(i, op.Reg, "operand"); err != nil {
-					return err
-				}
-			case OperandMem:
-				if op.Reg != NoReg {
-					if err := checkReg(i, op.Reg, "address"); err != nil {
-						return err
-					}
-					if c := k.RegType(op.Reg).Class(); c != Class64 && !(in.Space == SpaceShared && c == Class32) {
-						return fmt.Errorf("%s: inst %d: address register %d must be 64-bit (or 32-bit for shared)", k.Name, i, op.Reg)
-					}
-				} else if op.Sym != "" {
-					if _, ok := k.Array(op.Sym); !ok {
-						if _, ok := k.Param(op.Sym); !ok {
-							return fmt.Errorf("%s: inst %d: unknown symbol %q", k.Name, i, op.Sym)
-						}
-					}
-				}
-			case OperandSym:
-				if _, ok := k.Array(op.Sym); !ok {
-					if _, ok := k.Param(op.Sym); !ok {
-						return fmt.Errorf("%s: inst %d: unknown symbol %q", k.Name, i, op.Sym)
-					}
-				}
-			}
-		}
-		// Width checks: destination register class must match instruction
-		// type width for typed ops (PTX is type-sensitive, paper §5.2).
-		if in.Dst.Kind == OperandReg && in.Type != TypeNone && in.Op != OpSetp {
-			want := in.Type.Class()
-			got := k.RegType(in.Dst.Reg).Class()
-			if in.Op == OpCvt {
-				// cvt result class follows the destination type.
-				want = in.Type.Class()
-			}
-			if got != want {
-				return fmt.Errorf("%s: inst %d (%s.%s): dst register class %s, want %s",
-					k.Name, i, in.Op, in.Type, got, want)
-			}
-		}
-		if in.Op == OpSetp && in.Dst.Kind == OperandReg && k.RegType(in.Dst.Reg) != Pred {
-			return fmt.Errorf("%s: inst %d: setp destination must be a predicate", k.Name, i)
-		}
-	}
-	return nil
+	return Verify(k, "")
 }
 
 // Stats summarizes the static composition of a kernel.

@@ -10,6 +10,10 @@ import (
 // floatBits64 returns the IEEE-754 bit pattern of v.
 func floatBits64(v float64) uint64 { return math.Float64bits(v) }
 
+// maxDeclaredRegs bounds the counted register-declaration form ("%r<N>")
+// so corrupt input cannot allocate an absurd RegTypes table.
+const maxDeclaredRegs = 1 << 20
+
 // ParseError describes a syntax error with its line number.
 type ParseError struct {
 	Line int
@@ -78,6 +82,26 @@ func splitLines(src string) []string {
 	return strings.Split(strings.ReplaceAll(src, "\r\n", "\n"), "\n")
 }
 
+// validIdent reports whether s is a safe PTX identifier. The printer embeds
+// kernel names verbatim in the ".entry name(" header, so characters that
+// collide with the header grammar ('(', '{', whitespace) must be rejected
+// at parse time or printed kernels would not re-parse.
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '$', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // parseKernel parses ".visible .entry name ( params ) { body }".
 func (p *parser) parseKernel() (*Kernel, error) {
 	header := strings.TrimSpace(p.lines[p.pos])
@@ -93,6 +117,9 @@ func (p *parser) parseKernel() (*Kernel, error) {
 	}
 	if name == "" {
 		return nil, p.errf("missing kernel name")
+	}
+	if !validIdent(name) {
+		return nil, p.errf("bad kernel name %q", name)
 	}
 	k := NewKernel(name)
 
@@ -206,6 +233,12 @@ func (p *parser) parseRegDecl(k *Kernel, regs map[string]Reg, line string) error
 			if err != nil {
 				return p.errf("bad register count in %q", name)
 			}
+			// A register file is a few KB; a declaration beyond this bound
+			// is corrupt input, not a real kernel (and would balloon the
+			// RegTypes table).
+			if n < 0 || n > maxDeclaredRegs {
+				return p.errf("register count %d in %q out of range [0,%d]", n, name, maxDeclaredRegs)
+			}
 			prefix := name[:i]
 			for c := 0; c < n; c++ {
 				nm := fmt.Sprintf("%s%d", prefix, c)
@@ -235,6 +268,9 @@ func (p *parser) parseArrayDecl(k *Kernel, line string) error {
 	align := 4
 	i := 1
 	if i < len(fields) && fields[i] == ".align" {
+		if i+1 >= len(fields) {
+			return p.errf("missing alignment value in %q", line)
+		}
 		a, err := strconv.Atoi(fields[i+1])
 		if err != nil {
 			return p.errf("bad alignment %q", fields[i+1])
@@ -257,6 +293,9 @@ func (p *parser) parseArrayDecl(k *Kernel, line string) error {
 	size, err := strconv.ParseInt(nameSize[j+1:j2], 10, 64)
 	if err != nil {
 		return p.errf("bad array size in %q", nameSize)
+	}
+	if size < 0 {
+		return p.errf("negative array size in %q", nameSize)
 	}
 	k.AddArray(ArrayDecl{Name: nameSize[:j], Space: sp, Align: align, Size: size})
 	return nil
@@ -347,10 +386,21 @@ func (p *parser) parseInst(k *Kernel, regs map[string]Reg, line string) (Inst, e
 		return in, p.errf("unknown suffix %q in %q", suf, mnemonic)
 	}
 	switch {
-	case op == OpCvt && len(types) == 2:
+	case op == OpCvt:
+		// cvt needs both a destination and a source type: the printer
+		// cannot re-emit a conversion whose source type is unknown.
+		if len(types) != 2 {
+			return in, p.errf("cvt needs two types in %q", mnemonic)
+		}
 		in.Type, in.CvtFrom = types[0], types[1]
 	case len(types) >= 1:
 		in.Type = types[0]
+	}
+	if op == OpSetp && in.Cmp == CmpNone {
+		return in, p.errf("setp without comparison in %q", mnemonic)
+	}
+	if (op == OpLd || op == OpSt) && in.Space == SpaceNone {
+		return in, p.errf("%s without state space in %q", opName, mnemonic)
 	}
 
 	switch op {

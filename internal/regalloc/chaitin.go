@@ -177,6 +177,15 @@ func Allocate(k *ptx.Kernel, opts Options) (*Result, error) {
 		}
 		if len(spillCandidates) == 0 {
 			st.finish(assignment)
+			// Defense in depth: a bug in spill insertion or the physical
+			// rewrite must surface here as a structured VerifyError, not as
+			// a downstream simulator fault.
+			if err := ptx.Verify(st.res.Virtual, "spill-insert"); err != nil {
+				return nil, err
+			}
+			if err := ptx.Verify(st.res.Kernel, "regalloc"); err != nil {
+				return nil, err
+			}
 			return st.res, nil
 		}
 		if err := st.insertSpills(spillCandidates); err != nil {

@@ -12,6 +12,13 @@ import (
 // temporaries and the 64-bit stack base register are marked unspillable.
 func (st *allocState) insertSpills(spillRegs []ptx.Reg) error {
 	k := st.k
+	// A kernel that already carries a SpillStack (e.g. spillopt re-runs
+	// allocation on a rewritten kernel whose remaining spill code still
+	// references earlier slots) must get fresh, non-overlapping offsets:
+	// start the stack past the existing array instead of overlaying it.
+	if a, ok := k.Array(SpillStackName); ok && a.Size > st.stack {
+		st.stack = a.Size
+	}
 	spillSet := make(map[ptx.Reg]*SpillSlot)
 	for _, r := range spillRegs {
 		t := k.RegType(r)

@@ -144,6 +144,9 @@ func Optimize(r *regalloc.Result, allocOpts regalloc.Options, opts Options) (*Re
 	if err != nil {
 		return nil, err
 	}
+	if err := ptx.Verify(rewritten, "spillopt"); err != nil {
+		return nil, err
+	}
 	final, err := regalloc.Allocate(rewritten, allocOpts)
 	if err != nil {
 		return nil, fmt.Errorf("spillopt: reallocation failed: %w", err)
