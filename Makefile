@@ -1,10 +1,12 @@
 # Developer entry points. `make ci` is the full local gate: vet, build,
-# race-enabled tests, and a short fuzz smoke over the PTX parsers.
+# race-enabled tests (including the concurrent-session harness tests), a
+# 1-iteration benchmark smoke, and a short fuzz smoke over the PTX parsers.
 
 GO ?= go
 FUZZTIME ?= 10s
+BENCHDATE := $(shell date +%F)
 
-.PHONY: all build vet test race fuzz-smoke ci
+.PHONY: all build vet test race race-harness bench-smoke bench-json fuzz-smoke ci
 
 all: build
 
@@ -20,10 +22,25 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The concurrency tests that guard the parallel experiment engine: run
+# explicitly with -count=1 so cached passes never mask a regression.
+race-harness:
+	$(GO) test -race -count=1 ./internal/harness/...
+
+# One iteration of the simulator throughput benchmark: catches crashes or
+# gross slowdowns in the hot path without paying for a full bench run.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=SimulatorThroughput -benchtime=1x .
+
+# Full benchmark suite -> BENCH_<date>.json with the headline metrics
+# (geomean speedups, warp-insts/s). Seeds the perf trajectory across PRs.
+bench-json:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -o BENCH_$(BENCHDATE).json
+
 # Short fuzz runs of the kernel and module parsers (no-panic + print/parse
 # round-trip properties). Seeds come from the workload kernels.
 fuzz-smoke:
 	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParseModule -fuzztime=$(FUZZTIME)
 
-ci: vet build race fuzz-smoke
+ci: vet build race race-harness bench-smoke fuzz-smoke

@@ -13,6 +13,7 @@ package crat_test
 import (
 	"io"
 	"strconv"
+	"sync"
 	"testing"
 
 	"crat/internal/core"
@@ -24,10 +25,16 @@ import (
 // Benchmarks share one session per architecture so that profiling runs and
 // mode evaluations are paid once and each benchmark measures its own
 // figure's incremental cost (mirroring how cmd/experiments runs the suite).
-var sessions = map[string]*harness.Session{}
+// The map is mutex-guarded so `go test -bench . -cpu N` stays safe.
+var (
+	sessionsMu sync.Mutex
+	sessions   = map[string]*harness.Session{}
+)
 
 func sessionFor(b *testing.B, arch gpusim.Config) *harness.Session {
 	b.Helper()
+	sessionsMu.Lock()
+	defer sessionsMu.Unlock()
 	if s, ok := sessions[arch.Name]; ok {
 		return s
 	}
@@ -44,9 +51,13 @@ func lastRowMetric(b *testing.B, t *harness.Table, col string) float64 {
 	b.Helper()
 	idx := -1
 	for i, c := range t.Columns {
-		if c == col {
-			idx = i
+		if c != col {
+			continue
 		}
+		if idx >= 0 {
+			b.Fatalf("table %s has duplicate column %q (indices %d and %d)", t.ID, col, idx, i)
+		}
+		idx = i
 	}
 	if idx < 0 || len(t.Rows) == 0 {
 		b.Fatalf("column %q not found in %s", col, t.ID)

@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` output into a JSON metrics
+// record, seeding the performance trajectory across PRs.
+//
+// It reads benchmark output on stdin and writes one JSON document with every
+// benchmark's ns/op plus all custom metrics (geomean speedups, warp-insts/s,
+// ...), and a flattened "headline" map of the custom metrics for quick
+// diffing between snapshots.
+//
+// Usage:
+//
+//	go test -bench . -benchtime=1x | benchjson -o BENCH_$(date +%F).json
+//
+// See the Makefile's bench-json target.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Headline flattens every custom (non-ns/op, non-allocation) metric
+	// across all benchmarks; duplicate units keep the last value seen.
+	Headline map[string]float64 `json:"headline"`
+}
+
+// parseLine parses a `go test -bench` result line, e.g.
+//
+//	BenchmarkFig13Headline-4  1  86239180000 ns/op  1.25 geomean-CRAT-speedup
+//
+// Returns ok=false for non-benchmark lines (goos/pkg headers, PASS, ...).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	// Strip the -N cpu-count suffix so names are stable across machines.
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i]
+		}
+	}
+	// Remaining fields are (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, true
+}
+
+// headlineUnit reports whether a metric unit belongs in the flattened
+// headline map (custom experiment metrics, not allocation accounting).
+func headlineUnit(unit string) bool {
+	switch unit {
+	case "B/op", "allocs/op", "MB/s":
+		return false
+	}
+	return true
+}
+
+func run(out string) error {
+	rep := Report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Headline:  map[string]float64{},
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		b, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+		for unit, v := range b.Metrics {
+			if headlineUnit(unit) {
+				rep.Headline[unit] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks, %d headline metrics to %s\n",
+		len(rep.Benchmarks), len(rep.Headline), out)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "-", "output file ('-' = stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

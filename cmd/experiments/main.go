@@ -5,6 +5,7 @@
 //
 //	experiments -run all
 //	experiments -run fig13,fig14,fig15
+//	experiments -run all -j 4
 //	experiments -list
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for the
@@ -19,11 +20,14 @@ import (
 	"time"
 
 	"crat/internal/harness"
+	"crat/internal/pool"
 )
 
 func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
+	workers := flag.Int("j", pool.DefaultWorkers(),
+		"max parallel simulations (1 = serial; output is identical either way)")
 	flag.Parse()
 
 	if *list || *runFlag == "" {
@@ -46,7 +50,7 @@ func main() {
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
-	if err := harness.RunExperiments(ids, os.Stdout); err != nil {
+	if err := harness.RunExperiments(ids, *workers, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crat/internal/gpusim"
+	"crat/internal/pool"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 	"crat/internal/spillopt"
@@ -69,6 +70,19 @@ type Options struct {
 	// Costs overrides the microbenchmarked per-access latencies
 	// (zero value = measure on Arch).
 	Costs gpusim.Costs
+	// Workers bounds the goroutines used for independent simulations (the
+	// OptTLP profiling sweep and the Oracle candidate sweep). 0 or 1 keeps
+	// the pipeline fully serial; results are identical at any setting.
+	Workers int
+}
+
+// profileWorkers maps the Workers option to a pool size: the zero value
+// (callers that never set it) stays serial.
+func (o Options) profileWorkers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Candidate is one surviving design point with its compiled kernel.
@@ -138,7 +152,7 @@ func Optimize(app App, opts Options) (*Decision, error) {
 		a.OptTLP = EstimateOptTLP(a, arch, in)
 		d.ProfileRuns = 1
 	default:
-		opt, runs, err := ProfileOptTLP(app, arch, a)
+		opt, runs, err := ProfileOptTLPN(app, arch, a, opts.profileWorkers())
 		if err != nil {
 			return nil, err
 		}
@@ -186,17 +200,24 @@ func Optimize(app App, opts Options) (*Decision, error) {
 	}
 
 	if opts.Oracle {
-		// Ablation: simulate every candidate and take the fastest.
+		// Ablation: simulate every candidate and take the fastest. The
+		// candidates are independent kernels, so the sweep fans out like the
+		// profiling one; the reduction stays in candidate order so the
+		// winner (and first error) matches the serial loop.
+		stats := make([]gpusim.Stats, len(d.Candidates))
+		errs := make([]error, len(d.Candidates))
+		pool.Run(opts.profileWorkers(), len(d.Candidates), func(i int) {
+			c := &d.Candidates[i]
+			stats[i], errs[i] = Simulate(app, arch, &appKernel{k: c.Kernel(), regs: c.UsedRegs()}, c.TLP)
+		})
 		bestIdx, bestCycles := -1, int64(0)
 		for i := range d.Candidates {
-			c := &d.Candidates[i]
-			st, err := Simulate(app, arch, &appKernel{k: c.Kernel(), regs: c.UsedRegs()}, c.TLP)
-			if err != nil {
-				return nil, err
+			if errs[i] != nil {
+				return nil, errs[i]
 			}
-			c.Cycles = st.Cycles
-			if bestIdx == -1 || st.Cycles < bestCycles {
-				bestIdx, bestCycles = i, st.Cycles
+			d.Candidates[i].Cycles = stats[i].Cycles
+			if bestIdx == -1 || stats[i].Cycles < bestCycles {
+				bestIdx, bestCycles = i, stats[i].Cycles
 			}
 		}
 		d.Chosen = d.Candidates[bestIdx]
@@ -299,7 +320,7 @@ func RunMode(app App, mode Mode, opts Options) (gpusim.Stats, *Decision, error) 
 				}
 				a.OptTLP = EstimateOptTLP(a, arch, in)
 			default:
-				opt, _, err := ProfileOptTLP(app, arch, a)
+				opt, _, err := ProfileOptTLPN(app, arch, a, opts.profileWorkers())
 				if err != nil {
 					return gpusim.Stats{}, nil, err
 				}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"crat/internal/gpusim"
+	"crat/internal/pool"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 )
@@ -47,20 +48,32 @@ func SimulateKernel(app App, arch gpusim.Config, k *ptx.Kernel, regsPerThread, t
 // count and simulated at every TLP in [1, MaxTLP]; the TLP with the fewest
 // cycles wins.
 func ProfileOptTLP(app App, arch gpusim.Config, a *Analysis) (int, []gpusim.Stats, error) {
+	return ProfileOptTLPN(app, arch, a, 1)
+}
+
+// ProfileOptTLPN is ProfileOptTLP fanning the per-TLP simulations across up
+// to `workers` goroutines (0 = one per CPU). Each TLP point is an independent
+// simulation over its own Memory, so the fan-out is embarrassingly parallel;
+// results are reduced in ascending TLP order afterwards, which makes the
+// winner — and on failure, the reported error (lowest failing TLP) —
+// identical to the serial sweep.
+func ProfileOptTLPN(app App, arch gpusim.Config, a *Analysis, workers int) (int, []gpusim.Stats, error) {
 	alloc, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: a.DefaultReg})
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: default allocation of %s: %w", app.Name, err)
 	}
+	all := make([]gpusim.Stats, a.MaxTLP)
+	errs := make([]error, a.MaxTLP)
+	pool.Run(workers, a.MaxTLP, func(i int) {
+		all[i], errs[i] = Simulate(app, arch, &appKernel{k: alloc.Kernel, regs: alloc.UsedRegs}, i+1)
+	})
 	best, bestCycles := 0, int64(0)
-	var all []gpusim.Stats
-	for tlp := 1; tlp <= a.MaxTLP; tlp++ {
-		st, err := Simulate(app, arch, &appKernel{k: alloc.Kernel, regs: alloc.UsedRegs}, tlp)
-		if err != nil {
-			return 0, nil, err
+	for i, st := range all {
+		if errs[i] != nil {
+			return 0, nil, errs[i]
 		}
-		all = append(all, st)
 		if best == 0 || st.Cycles < bestCycles {
-			best, bestCycles = tlp, st.Cycles
+			best, bestCycles = i+1, st.Cycles
 		}
 	}
 	return best, all, nil

@@ -15,8 +15,12 @@ type cache struct {
 	clock int64
 
 	// inflight maps missed line addresses to their fill-completion cycle;
-	// its size is bounded by cfg.MSHRs (when non-zero).
+	// its size is bounded by cfg.MSHRs (when non-zero). nextDone is the
+	// earliest completion cycle among them (undefined when empty): expire
+	// runs every machine cycle and must be able to bail out without
+	// iterating the map.
 	inflight map[uint64]int64
+	nextDone int64
 
 	accesses   int64
 	hits       int64
@@ -73,14 +77,23 @@ func (c *cache) freeMSHRs() int {
 }
 
 // expire releases MSHRs whose fills completed at or before now and inserts
-// the lines.
+// the lines. The nextDone fast path makes the common no-op call O(1).
 func (c *cache) expire(now int64) {
+	if len(c.inflight) == 0 || now < c.nextDone {
+		return
+	}
+	next := int64(0)
 	for line, done := range c.inflight {
 		if done <= now {
 			c.insert(line, now)
 			delete(c.inflight, line)
+			continue
+		}
+		if next == 0 || done < next {
+			next = done
 		}
 	}
+	c.nextDone = next
 }
 
 // insert fills a line, evicting LRU.
@@ -121,6 +134,9 @@ func (c *cache) access(line uint64, now int64, fillDone int64) (hit bool, ready 
 	if done, ok := c.inflight[line]; ok {
 		c.mshrMerges++
 		return false, done
+	}
+	if len(c.inflight) == 0 || fillDone < c.nextDone {
+		c.nextDone = fillDone
 	}
 	c.inflight[line] = fillDone
 	return false, fillDone

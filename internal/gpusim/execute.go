@@ -44,7 +44,7 @@ func (s *Simulator) execute(w *warp) {
 
 	switch in.Op {
 	case ptx.OpBra:
-		s.execBranch(w, pc, in, top.mask, execMask)
+		s.execBranch(w, pc, top.mask, execMask)
 		return
 	case ptx.OpExit, ptx.OpRet:
 		s.exitLanes(w, top.mask)
@@ -107,17 +107,17 @@ func (s *Simulator) countMeta(in *ptx.Inst, execMask uint64) {
 
 // execBranch implements SIMT divergence with immediate-post-dominator
 // reconvergence.
-func (s *Simulator) execBranch(w *warp, pc int, in *ptx.Inst, activeMask, takenMask uint64) {
+func (s *Simulator) execBranch(w *warp, pc int, activeMask, takenMask uint64) {
 	top := &w.stack[len(w.stack)-1]
-	target := s.labels[in.Target]
+	target := s.info.targets[pc]
 	switch takenMask {
 	case activeMask:
 		top.pc = target
 	case 0:
 		top.pc = pc + 1
 	default:
-		rpc, ok := s.reconv[pc]
-		if !ok {
+		rpc := s.info.reconv[pc]
+		if rpc < 0 {
 			rpc = len(s.kernel.Insts)
 		}
 		// Current entry waits at the reconvergence point; push the
@@ -183,7 +183,7 @@ func (s *Simulator) execFunctional(w *warp, pc int, in *ptx.Inst, execMask uint6
 		if execMask&(1<<uint(l)) == 0 {
 			continue
 		}
-		if err := s.execLane(w, th, in); err != nil {
+		if err := s.execLane(w, th, pc, in); err != nil {
 			s.setFault(&Fault{
 				Kind: FaultExec, PC: pc,
 				Warp: w.id, Block: w.block.id, Lane: l,
@@ -192,6 +192,21 @@ func (s *Simulator) execFunctional(w *warp, pc int, in *ptx.Inst, execMask uint6
 			return
 		}
 	}
+}
+
+// srcVal evaluates source operand i of the instruction at pc for one thread.
+// Register and immediate operands — the overwhelming majority — resolve
+// without the operand switch: immediates were pre-encoded into kernelInfo at
+// the type each call site requests.
+func (s *Simulator) srcVal(w *warp, th *thread, pc int, in *ptx.Inst, i int) uint64 {
+	o := &in.Srcs[i]
+	switch o.Kind {
+	case ptx.OperandReg:
+		return th.regs[o.Reg]
+	case ptx.OperandImm, ptx.OperandFImm:
+		return s.info.imms[pc][i]
+	}
+	return s.operand(w, th, *o, in.Type)
 }
 
 // operand evaluates a source operand for one thread at the given type.
@@ -237,9 +252,9 @@ func (s *Simulator) special(w *warp, th *thread, sp ptx.Special) int {
 }
 
 // execLane evaluates one non-memory instruction for one thread.
-func (s *Simulator) execLane(w *warp, th *thread, in *ptx.Inst) error {
+func (s *Simulator) execLane(w *warp, th *thread, pc int, in *ptx.Inst) error {
 	get := func(i int) uint64 {
-		return s.operand(w, th, in.Srcs[i], in.Type)
+		return s.srcVal(w, th, pc, in, i)
 	}
 	switch in.Op {
 	case ptx.OpSetp:
@@ -262,7 +277,9 @@ func (s *Simulator) execLane(w *warp, th *thread, in *ptx.Inst) error {
 		}
 		return nil
 	case ptx.OpCvt:
-		v, err := convert(in.Type, in.CvtFrom, s.operand(w, th, in.Srcs[0], in.CvtFrom))
+		// srcVal pre-encoded any immediate at CvtFrom; operand ignores the
+		// type for register/special/symbol sources.
+		v, err := convert(in.Type, in.CvtFrom, get(0))
 		if err != nil {
 			return err
 		}
@@ -348,7 +365,7 @@ func (s *Simulator) execMemory(w *warp, pc int, in *ptx.Inst, execMask uint64) (
 				th.regs[in.Dst.Reg] = s.mem.Read(addr, size)
 				s.stats.GlobalLoads++
 			} else {
-				s.mem.Write(addr, s.operand(w, th, in.Srcs[0], in.Type), size)
+				s.mem.Write(addr, s.srcVal(w, th, pc, in, 0), size)
 				s.stats.GlobalStores++
 			}
 		case ptx.SpaceLocal:
@@ -361,7 +378,7 @@ func (s *Simulator) execMemory(w *warp, pc int, in *ptx.Inst, execMask uint64) (
 				th.regs[in.Dst.Reg] = readLE(th.local[addr:], size)
 				s.stats.LocalLoads++
 			} else {
-				writeLE(th.local[addr:], s.operand(w, th, in.Srcs[0], in.Type), size)
+				writeLE(th.local[addr:], s.srcVal(w, th, pc, in, 0), size)
 				s.stats.LocalStores++
 			}
 		case ptx.SpaceShared:
@@ -377,7 +394,7 @@ func (s *Simulator) execMemory(w *warp, pc int, in *ptx.Inst, execMask uint64) (
 				th.regs[in.Dst.Reg] = readLE(w.block.shared[addr:], size)
 				s.stats.SharedLoads++
 			} else {
-				writeLE(w.block.shared[addr:], s.operand(w, th, in.Srcs[0], in.Type), size)
+				writeLE(w.block.shared[addr:], s.srcVal(w, th, pc, in, 0), size)
 				s.stats.SharedStores++
 			}
 		}

@@ -54,13 +54,13 @@ func (k FaultKind) String() string {
 // WarpState is a per-warp snapshot attached to watchdog faults so
 // cycle-cap and deadlock failures are diagnosable.
 type WarpState struct {
-	Warp      int
-	Block     int
-	PC        int
-	Done      bool
-	AtBarrier bool
-	Stall     string // stall reason name at the time of the fault
-	StackDepth int   // SIMT reconvergence stack depth
+	Warp       int
+	Block      int
+	PC         int
+	Done       bool
+	AtBarrier  bool
+	Stall      string // stall reason name at the time of the fault
+	StackDepth int    // SIMT reconvergence stack depth
 }
 
 func (ws WarpState) String() string {

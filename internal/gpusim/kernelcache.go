@@ -1,0 +1,146 @@
+package gpusim
+
+import (
+	"fmt"
+	"sync"
+
+	"crat/internal/cfg"
+	"crat/internal/ptx"
+)
+
+// kernelInfo is the per-kernel static analysis the simulator needs on every
+// launch: validation, the CFG's reconvergence points, branch targets, and
+// the per-instruction use/def sets consulted by the scoreboard each cycle.
+// Computing it once per kernel (instead of once per NewSimulator) removes
+// the dominant setup cost of design-space sweeps, where the same kernel is
+// simulated at many TLPs.
+type kernelInfo struct {
+	err     error       // validation or CFG construction failure
+	nInsts  int         // len(k.Insts) at analysis time (staleness guard)
+	targets []int       // per-pc branch target instruction index (-1 = not a bra)
+	reconv  []int       // per-pc reconvergence pc for conditional branches (-1 = none)
+	uses    [][]ptx.Reg // per-pc registers read (guard, sources, memory bases)
+	defs    []ptx.Reg   // per-pc register written (ptx.NoReg = none)
+	imms    [][]uint64  // per-pc, per-src immediate encodings (unused slots are 0)
+}
+
+// kernelInfoCache memoizes kernelInfo by kernel identity. Entries are built
+// under a per-entry sync.Once so concurrent simulations of one kernel share
+// a single analysis. The cache is evicted wholesale once it grows past
+// kernelCacheMax entries: long sweeps allocate thousands of short-lived
+// kernels, and rebuilding a handful of live ones is cheaper than retaining
+// them all.
+type kernelInfoCache struct {
+	mu sync.Mutex
+	m  map[*ptx.Kernel]*kernelInfoEntry
+}
+
+type kernelInfoEntry struct {
+	once sync.Once
+	info *kernelInfo
+}
+
+const kernelCacheMax = 1024
+
+var kernelCache = kernelInfoCache{m: make(map[*ptx.Kernel]*kernelInfoEntry)}
+
+// infoFor returns the cached analysis for k, computing it on first use. The
+// kernel must not be mutated after its first simulation; callers that edit
+// instructions (e.g. toggling Bypass on a clone) get a fresh entry because
+// Clone yields a new pointer. A kernel whose instruction count changed since
+// analysis is re-analyzed rather than served stale.
+func infoFor(k *ptx.Kernel) (*kernelInfo, error) {
+	kernelCache.mu.Lock()
+	e, ok := kernelCache.m[k]
+	if ok {
+		// Guard against in-place growth (builder reuse): re-analyze.
+		if done := e.info; done != nil && done.nInsts != len(k.Insts) {
+			ok = false
+		}
+	}
+	if !ok {
+		if len(kernelCache.m) >= kernelCacheMax {
+			kernelCache.m = make(map[*ptx.Kernel]*kernelInfoEntry)
+		}
+		e = &kernelInfoEntry{}
+		kernelCache.m[k] = e
+	}
+	kernelCache.mu.Unlock()
+
+	e.once.Do(func() { e.info = buildKernelInfo(k) })
+	if e.info.err != nil {
+		return nil, e.info.err
+	}
+	return e.info, nil
+}
+
+// buildKernelInfo runs the once-per-kernel analyses.
+func buildKernelInfo(k *ptx.Kernel) *kernelInfo {
+	info := &kernelInfo{nInsts: len(k.Insts)}
+	if err := k.Validate(); err != nil {
+		info.err = fmt.Errorf("gpusim: %w", err)
+		return info
+	}
+	g, err := cfg.Build(k)
+	if err != nil {
+		info.err = err
+		return info
+	}
+	reconvMap := g.ReconvergencePoints()
+
+	labels := make(map[string]int)
+	for i := range k.Insts {
+		if l := k.Insts[i].Label; l != "" {
+			labels[l] = i
+		}
+	}
+
+	n := len(k.Insts)
+	info.targets = make([]int, n)
+	info.reconv = make([]int, n)
+	info.defs = make([]ptx.Reg, n)
+	info.uses = make([][]ptx.Reg, n)
+	info.imms = make([][]uint64, n)
+	var useArena []ptx.Reg // one backing array for all use slices
+	var immArena []uint64  // likewise for immediate encodings
+	for i := range k.Insts {
+		in := &k.Insts[i]
+		info.targets[i] = -1
+		if in.Op == ptx.OpBra {
+			if t, ok := labels[in.Target]; ok {
+				info.targets[i] = t
+			}
+		}
+		info.reconv[i] = -1
+		if r, ok := reconvMap[i]; ok {
+			info.reconv[i] = r
+		}
+		start := len(useArena)
+		useArena = in.Uses(useArena)
+		info.uses[i] = useArena[start:len(useArena):len(useArena)]
+		info.defs[i] = ptx.NoReg
+		if in.Dst.Kind == ptx.OperandReg {
+			info.defs[i] = in.Dst.Reg
+		}
+		// Pre-encode immediate sources at the type each call site will
+		// request (OpCvt reads its source at CvtFrom), so the per-lane
+		// operand path becomes a table lookup.
+		if len(in.Srcs) > 0 {
+			start = len(immArena)
+			for j := range in.Srcs {
+				o := &in.Srcs[j]
+				var v uint64
+				if o.Kind == ptx.OperandImm || o.Kind == ptx.OperandFImm {
+					t := in.Type
+					if in.Op == ptx.OpCvt && j == 0 {
+						t = in.CvtFrom
+					}
+					v = immBits(*o, t)
+				}
+				immArena = append(immArena, v)
+			}
+			info.imms[i] = immArena[start:len(immArena):len(immArena)]
+		}
+	}
+	return info
+}

@@ -1,7 +1,6 @@
 package gpusim
 
 import (
-	"encoding/binary"
 	"math"
 )
 
@@ -58,18 +57,41 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) {
 	}
 }
 
-// Read reads an unsigned little-endian value of the given byte width.
+// Read reads an unsigned little-endian value of the given byte width. The
+// single-page fast path keeps the simulator's per-access cost allocation-free
+// (ReadBytes would copy through a fresh slice).
 func (m *Memory) Read(addr uint64, bytes int) uint64 {
-	var buf [8]byte
-	copy(buf[:bytes], m.ReadBytes(addr, bytes))
-	return binary.LittleEndian.Uint64(buf[:])
+	off := addr & (pageSize - 1)
+	if off+uint64(bytes) <= pageSize {
+		p := m.page(addr)
+		var v uint64
+		for i := 0; i < bytes; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
+	var v uint64
+	for i := 0; i < bytes; i++ {
+		a := addr + uint64(i)
+		v |= uint64(m.page(a)[a&(pageSize-1)]) << (8 * i)
+	}
+	return v
 }
 
 // Write stores the low `bytes` bytes of v at addr, little-endian.
 func (m *Memory) Write(addr uint64, v uint64, bytes int) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	m.WriteBytes(addr, buf[:bytes])
+	off := addr & (pageSize - 1)
+	if off+uint64(bytes) <= pageSize {
+		p := m.page(addr)
+		for i := 0; i < bytes; i++ {
+			p[off+uint64(i)] = byte(v >> (8 * i))
+		}
+		return
+	}
+	for i := 0; i < bytes; i++ {
+		a := addr + uint64(i)
+		m.page(a)[a&(pageSize-1)] = byte(v >> (8 * i))
+	}
 }
 
 // WriteUint32 stores a uint32.

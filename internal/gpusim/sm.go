@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"crat/internal/cfg"
 	"crat/internal/ptx"
 )
 
@@ -92,6 +91,12 @@ type blockCtx struct {
 	warps     []*warp
 	liveWarps int
 	arrived   int
+
+	// regArena/localArena back every thread's regs/local slices so a block
+	// costs two allocations instead of two per thread, and a retired block's
+	// storage can be cleared and reused by the next launch.
+	regArena   []uint64
+	localArena []byte
 }
 
 type memPlan struct {
@@ -126,8 +131,7 @@ type Simulator struct {
 	kernel *ptx.Kernel
 
 	paramBlock []byte
-	reconv     map[int]int
-	labels     map[string]int
+	info       *kernelInfo // cached per-kernel analysis (see kernelcache.go)
 
 	now         int64
 	l1          *cache
@@ -136,6 +140,8 @@ type Simulator struct {
 	memPipeFree int64
 
 	blocks     []*blockCtx
+	blockPool  []*blockCtx // retired block contexts reusable by launchBlock
+	freeSlots  []int       // residency slots not currently occupied
 	nextBlock  int
 	warps      []*warp
 	schedWarps [][]*warp // per-scheduler warp lists (launch order)
@@ -155,18 +161,15 @@ type Simulator struct {
 // parameter values must match the kernel's parameter list.
 func NewSimulator(cfg Config, mem *Memory, launch Launch) (*Simulator, error) {
 	k := launch.Kernel
-	if err := k.Validate(); err != nil {
-		return nil, fmt.Errorf("gpusim: %w", err)
+	info, err := infoFor(k)
+	if err != nil {
+		return nil, err
 	}
 	if len(launch.Params) != len(k.Params) {
 		return nil, fmt.Errorf("gpusim: %d param values for %d params", len(launch.Params), len(k.Params))
 	}
 	if launch.Grid <= 0 || launch.Block <= 0 {
 		return nil, fmt.Errorf("gpusim: grid=%d block=%d must be positive", launch.Grid, launch.Block)
-	}
-	g, err := cfg2(k)
-	if err != nil {
-		return nil, err
 	}
 
 	shm := k.SharedBytes() + launch.ExtraSharedBytes
@@ -184,8 +187,7 @@ func NewSimulator(cfg Config, mem *Memory, launch Launch) (*Simulator, error) {
 		mem:        mem,
 		launch:     launch,
 		kernel:     k,
-		reconv:     g.ReconvergencePoints(),
-		labels:     make(map[string]int),
+		info:       info,
 		l1:         newCache(cfg.L1),
 		l2:         newCache(cfg.L2),
 		maxConc:    conc,
@@ -193,10 +195,9 @@ func NewSimulator(cfg Config, mem *Memory, launch Launch) (*Simulator, error) {
 		lrrNext:    make([]int, cfg.NumSchedulers),
 		schedWarps: make([][]*warp, cfg.NumSchedulers),
 	}
-	for i := range k.Insts {
-		if l := k.Insts[i].Label; l != "" {
-			s.labels[l] = i
-		}
+	s.freeSlots = make([]int, 0, conc)
+	for i := conc - 1; i >= 0; i-- {
+		s.freeSlots = append(s.freeSlots, i)
 	}
 	s.paramBlock = buildParamBlock(k, launch.Params)
 	s.stats.RegsPerThread = regs
@@ -207,8 +208,6 @@ func NewSimulator(cfg Config, mem *Memory, launch Launch) (*Simulator, error) {
 	}
 	return s, nil
 }
-
-func cfg2(k *ptx.Kernel) (*cfg.Graph, error) { return cfg.Build(k) }
 
 func buildParamBlock(k *ptx.Kernel, vals []uint64) []byte {
 	size := int64(0)
@@ -287,38 +286,44 @@ func (s *Simulator) Run() (Stats, error) {
 	return s.stats, nil
 }
 
-// launchBlock makes the next grid block resident.
+// launchBlock makes the next grid block resident, reusing a retired block
+// context (warps, threads, and their backing arenas) when one is available:
+// steady-state execution of a large grid then allocates nothing per block.
 func (s *Simulator) launchBlock() {
 	id := s.nextBlock
 	s.nextBlock++
 	slot := -1
-	used := make(map[int]bool)
-	for _, b := range s.blocks {
-		used[b.slot] = true
+	if n := len(s.freeSlots); n > 0 {
+		slot = s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
 	}
-	for i := 0; i < s.maxConc; i++ {
-		if !used[i] {
-			slot = i
-			break
-		}
+
+	if n := len(s.blockPool); n > 0 {
+		bc := s.blockPool[n-1]
+		s.blockPool = s.blockPool[:n-1]
+		s.resetBlock(bc, id, slot)
+		s.blocks = append(s.blocks, bc)
+		return
 	}
+
 	bc := &blockCtx{
 		id:     id,
 		slot:   slot,
 		shared: make([]byte, s.kernel.SharedBytes()+s.launch.ExtraSharedBytes),
 	}
 	nRegs := s.kernel.NumRegs()
-	localSize := s.kernel.LocalBytes()
+	localSize := int(s.kernel.LocalBytes())
 	nWarps := (s.launch.Block + s.cfg.WarpSize - 1) / s.cfg.WarpSize
+	bc.regArena = make([]uint64, nRegs*s.launch.Block)
+	if localSize > 0 {
+		bc.localArena = make([]byte, localSize*s.launch.Block)
+	}
 	for wi := 0; wi < nWarps; wi++ {
 		w := &warp{
-			id:         s.warpSeq,
-			sched:      s.warpSeq % s.cfg.NumSchedulers,
 			block:      bc,
 			regReady:   make([]int64, nRegs),
 			readyIsMem: make([]bool, nRegs),
 		}
-		s.warpSeq++
 		var mask uint64
 		for l := 0; l < s.cfg.WarpSize; l++ {
 			tid := wi*s.cfg.WarpSize + l
@@ -326,22 +331,57 @@ func (s *Simulator) launchBlock() {
 				break
 			}
 			th := &thread{
-				regs: make([]uint64, nRegs),
+				regs: bc.regArena[tid*nRegs : (tid+1)*nRegs : (tid+1)*nRegs],
 				tid:  tid,
 			}
 			if localSize > 0 {
-				th.local = make([]byte, localSize)
+				th.local = bc.localArena[tid*localSize : (tid+1)*localSize : (tid+1)*localSize]
 			}
 			w.lanes = append(w.lanes, th)
 			mask |= 1 << uint(l)
 		}
 		w.stack = []simtEntry{{pc: 0, rpc: len(s.kernel.Insts), mask: mask}}
 		bc.warps = append(bc.warps, w)
-		bc.liveWarps++
-		s.warps = append(s.warps, w)
-		s.schedWarps[w.sched] = append(s.schedWarps[w.sched], w)
+		s.enrollWarp(w)
 	}
 	s.blocks = append(s.blocks, bc)
+}
+
+// enrollWarp assigns the next warp id/scheduler and adds the warp to the
+// issue pools. Warp age (GTO's tiebreak) is the scheduler list order.
+func (s *Simulator) enrollWarp(w *warp) {
+	w.id = s.warpSeq
+	w.sched = s.warpSeq % s.cfg.NumSchedulers
+	s.warpSeq++
+	w.block.liveWarps++
+	s.warps = append(s.warps, w)
+	s.schedWarps[w.sched] = append(s.schedWarps[w.sched], w)
+}
+
+// resetBlock rewinds a retired block context to pristine launch state: all
+// register/local/shared storage zeroed, every warp back at pc 0 with a full
+// mask, and the warps re-enrolled under fresh ids.
+func (s *Simulator) resetBlock(bc *blockCtx, id, slot int) {
+	bc.id = id
+	bc.slot = slot
+	bc.liveWarps = 0
+	bc.arrived = 0
+	clear(bc.shared)
+	clear(bc.regArena)
+	clear(bc.localArena)
+	for _, w := range bc.warps {
+		w.done = false
+		w.barrier = false
+		w.hasPlan = false
+		clear(w.regReady)
+		clear(w.readyIsMem)
+		var mask uint64
+		for l := range w.lanes {
+			mask |= 1 << uint(l)
+		}
+		w.stack = append(w.stack[:0], simtEntry{pc: 0, rpc: len(s.kernel.Insts), mask: mask})
+		s.enrollWarp(w)
+	}
 }
 
 // retireBlock removes a finished block and backfills from the grid.
@@ -371,6 +411,8 @@ func (s *Simulator) retireBlock(bc *blockCtx) {
 		s.current[sched] = nil
 		s.lrrNext[sched] = 0
 	}
+	s.freeSlots = append(s.freeSlots, bc.slot)
+	s.blockPool = append(s.blockPool, bc)
 	s.stats.BlocksCompleted++
 	if s.nextBlock < s.launch.Grid {
 		s.launchBlock()
@@ -483,11 +525,11 @@ func (s *Simulator) canIssue(w *warp) (bool, stallReason) {
 	}
 	in := &s.kernel.Insts[top.pc]
 
-	// Scoreboard: all read and written registers must be ready.
-	var buf [8]ptx.Reg
-	uses := in.Uses(buf[:0])
+	// Scoreboard: all read and written registers must be ready. The use/def
+	// sets come precomputed from the kernel-analysis cache — this check runs
+	// every cycle for every stalled warp and must not re-derive them.
 	memBlocked := false
-	for _, r := range uses {
+	for _, r := range s.info.uses[top.pc] {
 		if w.regReady[r] > s.now {
 			if w.readyIsMem[r] {
 				memBlocked = true
@@ -499,8 +541,7 @@ func (s *Simulator) canIssue(w *warp) (bool, stallReason) {
 	if memBlocked {
 		return false, stallMemData
 	}
-	defs := in.Defs(buf[:0])
-	for _, r := range defs {
+	if r := s.info.defs[top.pc]; r != ptx.NoReg {
 		if w.regReady[r] > s.now {
 			if w.readyIsMem[r] {
 				return false, stallMemData

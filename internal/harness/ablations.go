@@ -33,30 +33,29 @@ func (s *Session) AblationScheduler() (*Table, error) {
 	}
 	lrrArch := s.Arch
 	lrrArch.Scheduler = gpusim.SchedLRR
-	for _, p := range ablationApps() {
-		s.perApp(t, p.Abbr, func() error {
-			a, _, err := s.Analysis(p)
-			if err != nil {
-				return err
-			}
-			gto, _, err := s.Mode(p, core.ModeOptTLP)
-			if err != nil {
-				return err
-			}
-			app := s.App(p)
-			alloc, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: a.DefaultReg})
-			if err != nil {
-				return err
-			}
-			lrr, err := core.SimulateKernel(app, lrrArch, alloc.Kernel, alloc.UsedRegs, a.OptTLP)
-			if err != nil {
-				return err
-			}
+	s.forApps(t, ablationApps(), func(p workloads.Profile) (func(), error) {
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		gto, _, err := s.Mode(p, core.ModeOptTLP)
+		if err != nil {
+			return nil, err
+		}
+		app := s.App(p)
+		alloc, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: a.DefaultReg})
+		if err != nil {
+			return nil, err
+		}
+		lrr, err := core.SimulateKernel(app, lrrArch, alloc.Kernel, alloc.UsedRegs, a.OptTLP)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
 			t.AddRow(p.Abbr, fmt.Sprint(gto.Cycles), fmt.Sprint(lrr.Cycles),
 				f(float64(gto.Cycles)/float64(lrr.Cycles)))
-			return nil
-		})
-	}
+		}, nil
+	})
 	return t, nil
 }
 
@@ -68,28 +67,27 @@ func (s *Session) AblationSpillCost() (*Table, error) {
 		Title:   "Ablation: loop-weighted vs unweighted spill cost",
 		Columns: []string{"app", "weighted cycles", "unweighted cycles", "weighted speedup"},
 	}
-	for _, p := range ablationApps() {
-		s.perApp(t, p.Abbr, func() error {
-			a, _, err := s.Analysis(p)
-			if err != nil {
-				return err
-			}
-			weighted, _, err := s.Mode(p, core.ModeCRAT)
-			if err != nil {
-				return err
-			}
-			stU, _, err := core.RunMode(s.App(p), core.ModeCRAT, core.Options{
-				Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs,
-				UnweightedSpillCost: true, UnweightedGain: true,
-			})
-			if err != nil {
-				return err
-			}
+	s.forApps(t, ablationApps(), func(p workloads.Profile) (func(), error) {
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		weighted, _, err := s.Mode(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		stU, _, err := core.RunMode(s.App(p), core.ModeCRAT, core.Options{
+			Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs,
+			UnweightedSpillCost: true, UnweightedGain: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func() {
 			t.AddRow(p.Abbr, fmt.Sprint(weighted.Cycles), fmt.Sprint(stU.Cycles),
 				f(float64(stU.Cycles)/float64(weighted.Cycles)))
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.Notes = append(t.Notes, "the weighted heuristic avoids spilling loop-resident values; gains appear when hot and cold values compete")
 	return t, nil
 }
@@ -103,30 +101,27 @@ func (s *Session) AblationSubstackSplit() (*Table, error) {
 		Title:   "Ablation: spill-stack splitting strategy (Algorithm 1)",
 		Columns: []string{"app", "by-type", "whole-stack", "per-variable"},
 	}
-	for _, p := range ablationApps() {
-		s.perApp(t, p.Abbr, func() error {
-			a, _, err := s.Analysis(p)
+	s.forApps(t, ablationApps(), func(p workloads.Profile) (func(), error) {
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		base, _, err := s.Mode(p, core.ModeOptTLP)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{p.Abbr}
+		for _, split := range []spillopt.Split{spillopt.SplitByType, spillopt.SplitWhole, spillopt.SplitPerVariable} {
+			st, _, err := core.RunMode(s.App(p), core.ModeCRAT, core.Options{
+				Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, Split: split,
+			})
 			if err != nil {
-				return err
+				return nil, err
 			}
-			base, _, err := s.Mode(p, core.ModeOptTLP)
-			if err != nil {
-				return err
-			}
-			row := []string{p.Abbr}
-			for _, split := range []spillopt.Split{spillopt.SplitByType, spillopt.SplitWhole, spillopt.SplitPerVariable} {
-				st, _, err := core.RunMode(s.App(p), core.ModeCRAT, core.Options{
-					Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, Split: split,
-				})
-				if err != nil {
-					return err
-				}
-				row = append(row, f(float64(base.Cycles)/float64(st.Cycles)))
-			}
-			t.AddRow(row...)
-			return nil
-		})
-	}
+			row = append(row, f(float64(base.Cycles)/float64(st.Cycles)))
+		}
+		return func() { t.AddRow(row...) }, nil
+	})
 	t.Notes = append(t.Notes, "speedups vs OptTLP; finer splits can place more of the stack when spare shared memory is scarce")
 	return t, nil
 }
@@ -139,31 +134,30 @@ func (s *Session) AblationPruning() (*Table, error) {
 		Title:   "Ablation: design-space pruning (paper §4.2)",
 		Columns: []string{"app", "pruned candidates", "unpruned candidates", "same choice"},
 	}
-	for _, p := range ablationApps() {
-		s.perApp(t, p.Abbr, func() error {
-			a, _, err := s.Analysis(p)
-			if err != nil {
-				return err
-			}
-			pruned, err := core.Optimize(s.App(p), core.Options{
-				Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, SpillShared: true,
-			})
-			if err != nil {
-				return err
-			}
-			full, err := core.Optimize(s.App(p), core.Options{
-				Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, SpillShared: true,
-				DisablePruning: true,
-			})
-			if err != nil {
-				return err
-			}
-			same := pruned.Chosen.Reg == full.Chosen.Reg && pruned.Chosen.TLP == full.Chosen.TLP
+	s.forApps(t, ablationApps(), func(p workloads.Profile) (func(), error) {
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		pruned, err := core.Optimize(s.App(p), core.Options{
+			Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, SpillShared: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		full, err := core.Optimize(s.App(p), core.Options{
+			Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, SpillShared: true,
+			DisablePruning: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		same := pruned.Chosen.Reg == full.Chosen.Reg && pruned.Chosen.TLP == full.Chosen.TLP
+		return func() {
 			t.AddRow(p.Abbr, fmt.Sprint(len(pruned.Candidates)), fmt.Sprint(len(full.Candidates)),
 				fmt.Sprint(same))
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.Notes = append(t.Notes, "pruning discards thrashing-TLP points; the winner is expected to survive (TPSC already penalizes low-TLP-gain points)")
 	return t, nil
 }
@@ -176,36 +170,35 @@ func (s *Session) AblationTPSC() (*Table, error) {
 		Title:   "Ablation: TPSC model vs simulation oracle (paper §6)",
 		Columns: []string{"app", "TPSC choice", "oracle choice", "TPSC cycles", "oracle cycles", "gap"},
 	}
-	for _, p := range ablationApps() {
-		s.perApp(t, p.Abbr, func() error {
-			a, _, err := s.Analysis(p)
-			if err != nil {
-				return err
-			}
-			opts := core.Options{Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, SpillShared: true}
-			tpsc, err := core.Optimize(s.App(p), opts)
-			if err != nil {
-				return err
-			}
-			stT, err := core.SimulateKernel(s.App(p), s.Arch, tpsc.Chosen.Kernel(), tpsc.Chosen.UsedRegs(), tpsc.Chosen.TLP)
-			if err != nil {
-				return err
-			}
-			oOpts := opts
-			oOpts.Oracle = true
-			oracle, err := core.Optimize(s.App(p), oOpts)
-			if err != nil {
-				return err
-			}
-			gap := float64(stT.Cycles)/float64(oracle.Chosen.Cycles) - 1
+	s.forApps(t, ablationApps(), func(p workloads.Profile) (func(), error) {
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, SpillShared: true, Workers: s.Workers()}
+		tpsc, err := core.Optimize(s.App(p), opts)
+		if err != nil {
+			return nil, err
+		}
+		stT, err := core.SimulateKernel(s.App(p), s.Arch, tpsc.Chosen.Kernel(), tpsc.Chosen.UsedRegs(), tpsc.Chosen.TLP)
+		if err != nil {
+			return nil, err
+		}
+		oOpts := opts
+		oOpts.Oracle = true
+		oracle, err := core.Optimize(s.App(p), oOpts)
+		if err != nil {
+			return nil, err
+		}
+		gap := float64(stT.Cycles)/float64(oracle.Chosen.Cycles) - 1
+		return func() {
 			t.AddRow(p.Abbr,
 				fmt.Sprintf("(%d,%d)", tpsc.Chosen.Reg, tpsc.Chosen.TLP),
 				fmt.Sprintf("(%d,%d)", oracle.Chosen.Reg, oracle.Chosen.TLP),
 				fmt.Sprint(stT.Cycles), fmt.Sprint(oracle.Chosen.Cycles),
 				fmt.Sprintf("%+.1f%%", gap*100))
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.Notes = append(t.Notes, "paper: 'TPSC metric can accurately capture the tradeoff between single-thread performance and TLP'")
 	return t, nil
 }
@@ -221,29 +214,28 @@ func (s *Session) AblationBypass() (*Table, error) {
 		Title:   "Ablation: CRAT with L1 cache bypassing (ld.global.cg)",
 		Columns: []string{"app", "CRAT cycles", "CRAT+bypass cycles", "bypass speedup", "L1 hit", "L1 hit bypass"},
 	}
-	for _, p := range ablationApps() {
-		s.perApp(t, p.Abbr, func() error {
-			base, d, err := s.Mode(p, core.ModeCRAT)
-			if err != nil {
-				return err
+	s.forApps(t, ablationApps(), func(p workloads.Profile) (func(), error) {
+		base, d, err := s.Mode(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		k := d.Chosen.Kernel().Clone()
+		for i := range k.Insts {
+			in := &k.Insts[i]
+			if in.Op == ptx.OpLd && in.Space == ptx.SpaceGlobal {
+				in.Bypass = true
 			}
-			k := d.Chosen.Kernel().Clone()
-			for i := range k.Insts {
-				in := &k.Insts[i]
-				if in.Op == ptx.OpLd && in.Space == ptx.SpaceGlobal {
-					in.Bypass = true
-				}
-			}
-			st, err := core.SimulateKernel(s.App(p), s.Arch, k, d.Chosen.UsedRegs(), d.Chosen.TLP)
-			if err != nil {
-				return err
-			}
+		}
+		st, err := core.SimulateKernel(s.App(p), s.Arch, k, d.Chosen.UsedRegs(), d.Chosen.TLP)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
 			t.AddRow(p.Abbr, fmt.Sprint(base.Cycles), fmt.Sprint(st.Cycles),
 				f(float64(base.Cycles)/float64(st.Cycles)),
 				f(base.L1HitRate()), f(st.L1HitRate()))
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.Notes = append(t.Notes, "all-loads bypassing is the bluntest policy; selective bypassing (paper refs [35-39]) would pick per-load")
 	return t, nil
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"crat/internal/pool"
+	"crat/internal/workloads"
 )
 
 // FaultRecord attributes one captured failure to the experiment and app it
@@ -34,6 +37,13 @@ func (s *Session) perApp(t *Table, abbr string, fn func() error) bool {
 	if err == nil {
 		return true
 	}
+	s.faultRow(t, abbr, err)
+	return false
+}
+
+// faultRow appends one app's ERROR row, note, and session fault record.
+// Callers own the table; only the session fault list needs the lock.
+func (s *Session) faultRow(t *Table, abbr string, err error) {
 	row := make([]string, len(t.Columns))
 	if len(row) == 0 {
 		row = []string{abbr, "ERROR"}
@@ -45,27 +55,63 @@ func (s *Session) perApp(t *Table, abbr string, fn func() error) bool {
 	}
 	t.Rows = append(t.Rows, row)
 	t.Notes = append(t.Notes, fmt.Sprintf("%s failed: %v", abbr, err))
+	s.mu.Lock()
 	s.Faults = append(s.Faults, FaultRecord{Experiment: t.ID, App: abbr, Err: err})
-	return false
+	s.mu.Unlock()
+}
+
+// forApps is the parallel per-app table builder: job(p) runs each app's
+// simulations across the session's worker pool and returns an emit closure
+// that appends the app's rows (and aggregate contributions). Emits — and
+// fault rows for failed apps — replay serially in input order, so the
+// rendered table, the aggregate rows built from emit-appended slices, and
+// the fault list are all byte-identical to the serial loop. Panics inside
+// job degrade into ERROR rows exactly like perApp.
+func (s *Session) forApps(t *Table, apps []workloads.Profile, job func(p workloads.Profile) (func(), error)) {
+	type result struct {
+		emit func()
+		err  error
+	}
+	out := make([]result, len(apps))
+	pool.Run(s.Workers(), len(apps), func(i int) {
+		var emit func()
+		err := capture(func() error {
+			e, err := job(apps[i])
+			emit = e
+			return err
+		})
+		out[i] = result{emit: emit, err: err}
+	})
+	for i, r := range out {
+		if r.err != nil {
+			s.faultRow(t, apps[i].Abbr, r.err)
+			continue
+		}
+		r.emit()
+	}
 }
 
 // recordFault notes a whole-experiment failure on the session.
 func (s *Session) recordFault(experiment string, err error) {
+	s.mu.Lock()
 	s.Faults = append(s.Faults, FaultRecord{Experiment: experiment, App: "", Err: err})
+	s.mu.Unlock()
 }
 
 // FaultSummary renders every fault captured during the session, or nil when
 // the session ran clean.
 func (s *Session) FaultSummary() *Table {
-	if len(s.Faults) == 0 {
+	s.mu.Lock()
+	recs := append([]FaultRecord(nil), s.Faults...)
+	s.mu.Unlock()
+	if len(recs) == 0 {
 		return nil
 	}
 	t := &Table{
 		ID:      "faults",
-		Title:   fmt.Sprintf("Fault summary (%d captured)", len(s.Faults)),
+		Title:   fmt.Sprintf("Fault summary (%d captured)", len(recs)),
 		Columns: []string{"experiment", "app", "error"},
 	}
-	recs := append([]FaultRecord(nil), s.Faults...)
 	sort.SliceStable(recs, func(i, j int) bool {
 		if recs[i].Experiment != recs[j].Experiment {
 			return recs[i].Experiment < recs[j].Experiment

@@ -115,7 +115,9 @@ func TestFigureDegradesGracefully(t *testing.T) {
 	good := tinyProfile()
 	bad := workloads.Profile{Name: "broken", Kernel: "broken", Abbr: "BROKEN", Suite: "test",
 		Block: 64, Grid: 4, Pressure: 4, Chain: 2, StreamIters: 2}
-	s.apps[bad.Abbr] = brokenApp() // poison the cache: Analysis will simulate this kernel
+	// Poison the cache: Analysis will simulate this kernel.
+	s.apps[bad.Abbr] = &call[core.App]{}
+	s.apps[bad.Abbr].do(func() (core.App, error) { return brokenApp(), nil })
 
 	tab := &Table{ID: "figtest", Title: "degradation test",
 		Columns: []string{"app", "OptTLP", "MaxTLP"}}

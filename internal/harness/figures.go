@@ -6,6 +6,7 @@ import (
 	"crat/internal/cfg"
 	"crat/internal/core"
 	"crat/internal/gpusim"
+	"crat/internal/pool"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 	"crat/internal/spillopt"
@@ -20,19 +21,18 @@ func (s *Session) Table1() (*Table, error) {
 		Title:   "Collected resource usage parameters (paper Table 1)",
 		Columns: []string{"app", "MaxReg", "MinReg", "DefaultReg", "BlockSize", "ShmSize", "MaxTLP", "OptTLP"},
 	}
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			a, _, err := s.Analysis(p)
-			if err != nil {
-				return err
-			}
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
 			t.AddRow(p.Abbr,
 				fmt.Sprint(a.MaxReg), fmt.Sprint(a.MinReg), fmt.Sprint(a.DefaultReg),
 				fmt.Sprint(a.BlockSize), fmt.Sprint(a.ShmSize),
 				fmt.Sprint(a.MaxTLP), fmt.Sprint(a.OptTLP))
-			return nil
-		})
-	}
+		}, nil
+	})
 	return t, nil
 }
 
@@ -84,27 +84,26 @@ func (s *Session) Figure1() (*Table, error) {
 		Columns: []string{"app", "perf MaxTLP", "perf OptTLP", "util MaxTLP", "util OptTLP", "OptTLP/MaxTLP threads"},
 	}
 	var speeds, fracs []float64
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			a, _, err := s.Analysis(p)
-			if err != nil {
-				return err
-			}
-			sp, err := s.Speedup(p, core.ModeMaxTLP)
-			if err != nil {
-				return err
-			}
-			// Normalized to MaxTLP: OptTLP speedup = 1/sp.
-			opt := 1 / sp
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := s.Speedup(p, core.ModeMaxTLP)
+		if err != nil {
+			return nil, err
+		}
+		// Normalized to MaxTLP: OptTLP speedup = 1/sp.
+		opt := 1 / sp
+		utilMax := core.RegisterUtilization(s.Arch, a.MaxTLP, a.BlockSize, a.DefaultReg)
+		utilOpt := core.RegisterUtilization(s.Arch, a.OptTLP, a.BlockSize, a.DefaultReg)
+		frac := float64(a.OptTLP) / float64(a.MaxTLP)
+		return func() {
 			speeds = append(speeds, opt)
-			utilMax := core.RegisterUtilization(s.Arch, a.MaxTLP, a.BlockSize, a.DefaultReg)
-			utilOpt := core.RegisterUtilization(s.Arch, a.OptTLP, a.BlockSize, a.DefaultReg)
-			frac := float64(a.OptTLP) / float64(a.MaxTLP)
 			fracs = append(fracs, frac)
 			t.AddRow(p.Abbr, "1.000", f(opt), f(utilMax), f(utilOpt), f(frac))
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.AddRow("GEOMEAN", "1.000", f(Geomean(speeds)), "", "", f(Geomean(fracs)))
 	t.Notes = append(t.Notes, "paper: OptTLP improves performance 1.42X average using ~55% of MaxTLP threads")
 	return t, nil
@@ -123,7 +122,6 @@ func (s *Session) Figure2() (*Table, error) {
 		Title:   "Design space of register per-thread and TLP for CFD (paper Fig 2)",
 		Columns: []string{"reg/thread", "TLP", "cycles", "speedup vs default"},
 	}
-	var baseline int64
 	lo := a.FeasibleMinReg
 	if lo < a.MinReg {
 		lo = a.MinReg
@@ -132,19 +130,30 @@ func (s *Session) Figure2() (*Table, error) {
 	if hi > s.Arch.MaxRegPerThread {
 		hi = s.Arch.MaxRegPerThread
 	}
+	// The sweep points are independent simulations: fan them out, then emit
+	// rows in sweep order (the running-baseline logic is order-dependent).
+	type point struct{ reg, tlp int }
+	var pts []point
 	for reg := lo; reg <= hi; reg += 3 {
-		tlp := a.TLPAt(s.Arch, reg)
-		if tlp == 0 {
-			continue
+		if tlp := a.TLPAt(s.Arch, reg); tlp != 0 {
+			pts = append(pts, point{reg, tlp})
 		}
-		st, err := s.simulatePoint(app, reg, tlp)
-		if err != nil {
-			return nil, err
+	}
+	stats := make([]gpusim.Stats, len(pts))
+	errs := make([]error, len(pts))
+	pool.Run(s.Workers(), len(pts), func(i int) {
+		stats[i], errs[i] = s.simulatePoint(app, pts[i].reg, pts[i].tlp)
+	})
+	var baseline int64
+	for i, pt := range pts {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if reg == a.DefaultReg || baseline == 0 {
+		st := stats[i]
+		if pt.reg == a.DefaultReg || baseline == 0 {
 			baseline = st.Cycles
 		}
-		t.AddRow(fmt.Sprint(reg), fmt.Sprint(tlp), fmt.Sprint(st.Cycles),
+		t.AddRow(fmt.Sprint(pt.reg), fmt.Sprint(pt.tlp), fmt.Sprint(st.Cycles),
 			f(float64(baseline)/float64(st.Cycles)))
 	}
 	t.Notes = append(t.Notes, "staircase: raising reg/thread lowers occupancy; the best point balances both (paper: CFD optimum at high reg, mid TLP)")
@@ -220,21 +229,20 @@ func (s *Session) Figure5() (*Table, error) {
 		Title:   "Thread throttling impact on the L1 data cache (paper Fig 5)",
 		Columns: []string{"app", "L1 hit MaxTLP", "L1 hit OptTLP", "congestion MaxTLP", "congestion OptTLP"},
 	}
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			maxSt, _, err := s.Mode(p, core.ModeMaxTLP)
-			if err != nil {
-				return err
-			}
-			optSt, _, err := s.Mode(p, core.ModeOptTLP)
-			if err != nil {
-				return err
-			}
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		maxSt, _, err := s.Mode(p, core.ModeMaxTLP)
+		if err != nil {
+			return nil, err
+		}
+		optSt, _, err := s.Mode(p, core.ModeOptTLP)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
 			t.AddRow(p.Abbr, f(maxSt.L1HitRate()), f(optSt.L1HitRate()),
 				fmt.Sprint(maxSt.StallCongestion), fmt.Sprint(optSt.StallCongestion))
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.Notes = append(t.Notes, "paper: throttling raises hit rate and cuts congestion stalls on cache-sensitive apps")
 	return t, nil
 }
@@ -261,22 +269,39 @@ func (s *Session) Figure6() (*Table, error) {
 	if hi > s.Arch.MaxRegPerThread {
 		hi = s.Arch.MaxRegPerThread
 	}
+	type point struct{ reg, tlp int }
+	var pts []point
 	for reg := lo; reg <= hi; reg += 6 {
-		tlp := a.TLPAt(s.Arch, reg)
-		if tlp == 0 {
-			continue
+		if tlp := a.TLPAt(s.Arch, reg); tlp != 0 {
+			pts = append(pts, point{reg, tlp})
 		}
-		alloc, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: reg})
+	}
+	type row struct {
+		insts int64
+		spill int64
+	}
+	rows := make([]row, len(pts))
+	errs := make([]error, len(pts))
+	pool.Run(s.Workers(), len(pts), func(i int) {
+		alloc, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: pts[i].reg})
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		st, err := core.SimulateKernel(app, s.Arch, alloc.Kernel, alloc.UsedRegs, tlp)
+		st, err := core.SimulateKernel(app, s.Arch, alloc.Kernel, alloc.UsedRegs, pts[i].tlp)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		o := alloc.Kernel.SpillOverhead()
-		t.AddRow(fmt.Sprint(reg), fmt.Sprint(tlp), fmt.Sprint(st.ThreadInsts),
-			fmt.Sprint(o.Locals()+o.Shareds()+o.AddrInsts))
+		rows[i] = row{insts: st.ThreadInsts, spill: int64(o.Locals() + o.Shareds() + o.AddrInsts)}
+	})
+	for i, pt := range pts {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		t.AddRow(fmt.Sprint(pt.reg), fmt.Sprint(pt.tlp), fmt.Sprint(rows[i].insts),
+			fmt.Sprint(rows[i].spill))
 	}
 	t.Notes = append(t.Notes, "paper: more registers lower TLP (a); fewer registers inflate the instruction count through spills (b)")
 	return t, nil
@@ -291,23 +316,22 @@ func (s *Session) Figure7() (*Table, error) {
 		Columns: []string{"app", "register util", "shared util"},
 	}
 	var regs, shms []float64
-	for _, p := range workloads.All() {
-		s.perApp(t, p.Abbr, func() error {
-			a, err := core.Analyze(s.App(p), s.Arch)
-			if err != nil {
-				return err
-			}
-			ru := core.RegisterUtilization(s.Arch, a.MaxTLP, a.BlockSize, a.DefaultReg)
-			su := float64(a.ShmSize*int64(a.MaxTLP)) / float64(s.Arch.SharedMemBytes)
-			if su > 1 {
-				su = 1
-			}
+	s.forApps(t, workloads.All(), func(p workloads.Profile) (func(), error) {
+		a, err := core.Analyze(s.App(p), s.Arch)
+		if err != nil {
+			return nil, err
+		}
+		ru := core.RegisterUtilization(s.Arch, a.MaxTLP, a.BlockSize, a.DefaultReg)
+		su := float64(a.ShmSize*int64(a.MaxTLP)) / float64(s.Arch.SharedMemBytes)
+		if su > 1 {
+			su = 1
+		}
+		return func() {
 			regs = append(regs, ru)
 			shms = append(shms, su)
 			t.AddRow(p.Abbr, f(ru), f(su))
-			return nil
-		})
-	}
+		}, nil
+	})
 	var rsum, ssum float64
 	for i := range regs {
 		rsum += regs[i]

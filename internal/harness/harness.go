@@ -9,10 +9,12 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"crat/internal/core"
 	"crat/internal/gpusim"
+	"crat/internal/pool"
 	"crat/internal/workloads"
 )
 
@@ -82,19 +84,64 @@ func Geomean(vs []float64) float64 {
 
 // Session caches per-app analyses, profiling runs, and mode evaluations so
 // the figures that share inputs (13-16, energy) do not re-simulate.
+//
+// A Session is safe for concurrent use: every cache is a singleflight map,
+// so when several goroutines request the same key the first computes it and
+// the rest block on that computation rather than duplicating it. Results are
+// therefore identical to serial use regardless of the worker count.
 type Session struct {
 	Arch  gpusim.Config
 	Costs gpusim.Costs
 
-	apps     map[string]core.App
-	analyses map[string]*core.Analysis
-	optRuns  map[string][]gpusim.Stats
-	modeRes  map[string]modeResult
-	// Elapsed accumulates profiling wall-clock for the overhead report.
+	mu       sync.Mutex
+	workers  int // 0 = pool.DefaultWorkers()
+	apps     map[string]*call[core.App]
+	analyses map[string]*call[analysisResult]
+	modeRes  map[string]*call[modeResult]
+	// computes counts cache-miss computations by key; the concurrency tests
+	// assert every key was simulated exactly once.
+	computes map[string]int
+
+	// ProfileWall accumulates profiling wall-clock for the overhead report.
+	// Guarded by mu while experiments run; read it only after they finish.
 	ProfileWall time.Duration
 	// Faults collects every per-app and per-experiment failure captured by
-	// the graceful-degradation harness (see FaultSummary).
+	// the graceful-degradation harness (see FaultSummary). Guarded by mu.
 	Faults []FaultRecord
+}
+
+// call is a singleflight cell: the first caller computes the value under the
+// sync.Once, concurrent callers for the same key block on it, and later
+// callers return the memoized result (errors memoize too — the experiments
+// are deterministic, so retrying cannot help).
+type call[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *call[T]) do(fn func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = fn() })
+	return c.val, c.err
+}
+
+// getCall returns the cell for key, creating it under the session lock. The
+// compute itself runs outside the lock (inside the cell's Once), so slow
+// simulations of different keys proceed in parallel.
+func getCall[T any](s *Session, m map[string]*call[T], key string) *call[T] {
+	s.mu.Lock()
+	c, ok := m[key]
+	if !ok {
+		c = &call[T]{}
+		m[key] = c
+	}
+	s.mu.Unlock()
+	return c
+}
+
+type analysisResult struct {
+	a    *core.Analysis
+	runs []gpusim.Stats
 }
 
 type modeResult struct {
@@ -112,64 +159,106 @@ func NewSession(arch gpusim.Config) (*Session, error) {
 	return &Session{
 		Arch:     arch,
 		Costs:    costs,
-		apps:     make(map[string]core.App),
-		analyses: make(map[string]*core.Analysis),
-		optRuns:  make(map[string][]gpusim.Stats),
-		modeRes:  make(map[string]modeResult),
+		apps:     make(map[string]*call[core.App]),
+		analyses: make(map[string]*call[analysisResult]),
+		modeRes:  make(map[string]*call[modeResult]),
+		computes: make(map[string]int),
 	}, nil
+}
+
+// SetWorkers bounds the goroutines the session fans experiments across.
+// n <= 0 restores the default (one per CPU); 1 makes every run serial.
+func (s *Session) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	s.workers = n
+	s.mu.Unlock()
+}
+
+// Workers returns the session's effective worker count.
+func (s *Session) Workers() int {
+	s.mu.Lock()
+	n := s.workers
+	s.mu.Unlock()
+	if n == 0 {
+		return pool.DefaultWorkers()
+	}
+	return n
+}
+
+// noteCompute records that key's value was actually computed (not served
+// from cache): the dedup tests read these counts.
+func (s *Session) noteCompute(key string) {
+	s.mu.Lock()
+	s.computes[key]++
+	s.mu.Unlock()
+}
+
+// computeCounts snapshots the per-key computation counts.
+func (s *Session) computeCounts() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.computes))
+	for k, v := range s.computes {
+		out[k] = v
+	}
+	return out
 }
 
 // App returns the materialized app for a profile, cached.
 func (s *Session) App(p workloads.Profile) core.App {
-	if a, ok := s.apps[p.Abbr]; ok {
-		return a
-	}
-	a := p.App()
-	s.apps[p.Abbr] = a
+	c := getCall(s, s.apps, p.Abbr)
+	a, _ := c.do(func() (core.App, error) { return p.App(), nil })
 	return a
 }
 
 // Analysis returns the app's analysis with OptTLP profiled, plus the per-TLP
 // profiling runs (cached).
 func (s *Session) Analysis(p workloads.Profile) (*core.Analysis, []gpusim.Stats, error) {
-	if a, ok := s.analyses[p.Abbr]; ok {
-		return a, s.optRuns[p.Abbr], nil
-	}
-	app := s.App(p)
-	a, err := core.Analyze(app, s.Arch)
-	if err != nil {
-		return nil, nil, err
-	}
-	start := time.Now()
-	opt, runs, err := core.ProfileOptTLP(app, s.Arch, a)
-	if err != nil {
-		return nil, nil, err
-	}
-	s.ProfileWall += time.Since(start)
-	a.OptTLP = opt
-	s.analyses[p.Abbr] = a
-	s.optRuns[p.Abbr] = runs
-	return a, runs, nil
+	c := getCall(s, s.analyses, p.Abbr)
+	r, err := c.do(func() (analysisResult, error) {
+		s.noteCompute("analysis/" + p.Abbr)
+		app := s.App(p)
+		a, err := core.Analyze(app, s.Arch)
+		if err != nil {
+			return analysisResult{}, err
+		}
+		start := time.Now()
+		opt, runs, err := core.ProfileOptTLPN(app, s.Arch, a, s.Workers())
+		if err != nil {
+			return analysisResult{}, err
+		}
+		elapsed := time.Since(start)
+		s.mu.Lock()
+		s.ProfileWall += elapsed
+		s.mu.Unlock()
+		a.OptTLP = opt
+		return analysisResult{a: a, runs: runs}, nil
+	})
+	return r.a, r.runs, err
 }
 
 // Mode evaluates one §7.2 comparison mode for the app (cached). The OptTLP
 // comes from the session's profiled analysis, so modes share it.
 func (s *Session) Mode(p workloads.Profile, mode core.Mode) (gpusim.Stats, *core.Decision, error) {
 	key := p.Abbr + "/" + mode.String()
-	if r, ok := s.modeRes[key]; ok {
-		return r.stats, r.decision, nil
-	}
-	a, _, err := s.Analysis(p)
-	if err != nil {
-		return gpusim.Stats{}, nil, err
-	}
-	opts := core.Options{Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs}
-	st, d, err := core.RunMode(s.App(p), mode, opts)
-	if err != nil {
-		return gpusim.Stats{}, nil, err
-	}
-	s.modeRes[key] = modeResult{st, d}
-	return st, d, nil
+	c := getCall(s, s.modeRes, key)
+	r, err := c.do(func() (modeResult, error) {
+		s.noteCompute("mode/" + key)
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return modeResult{}, err
+		}
+		opts := core.Options{Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, Workers: s.Workers()}
+		st, d, err := core.RunMode(s.App(p), mode, opts)
+		if err != nil {
+			return modeResult{}, err
+		}
+		return modeResult{stats: st, decision: d}, nil
+	})
+	return r.stats, r.decision, err
 }
 
 // Speedup returns mode-vs-OptTLP speedup for the app.

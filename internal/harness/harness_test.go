@@ -83,7 +83,7 @@ func TestExperimentRegistry(t *testing.T) {
 
 func TestRunExperimentsRejectsUnknown(t *testing.T) {
 	var sb strings.Builder
-	if err := RunExperiments([]string{"fig99"}, &sb); err == nil {
+	if err := RunExperiments([]string{"fig99"}, 1, &sb); err == nil {
 		t.Error("RunExperiments accepted an unknown id")
 	}
 }

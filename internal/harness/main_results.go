@@ -18,26 +18,25 @@ func (s *Session) Figure13() (*Table, error) {
 		Columns: []string{"app", "MaxTLP", "OptTLP", "CRAT-local", "CRAT"},
 	}
 	var maxs, locals, crats []float64
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			row := []string{p.Abbr}
-			var vals [4]float64
-			for i, m := range []core.Mode{core.ModeMaxTLP, core.ModeOptTLP, core.ModeCRATLocal, core.ModeCRAT} {
-				sp, err := s.Speedup(p, m)
-				if err != nil {
-					return err
-				}
-				row = append(row, f(sp))
-				vals[i] = sp
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		row := []string{p.Abbr}
+		var vals [4]float64
+		for i, m := range []core.Mode{core.ModeMaxTLP, core.ModeOptTLP, core.ModeCRATLocal, core.ModeCRAT} {
+			sp, err := s.Speedup(p, m)
+			if err != nil {
+				return nil, err
 			}
+			row = append(row, f(sp))
+			vals[i] = sp
+		}
+		return func() {
 			// Only a fully evaluated app contributes to the geomeans.
 			maxs = append(maxs, vals[0])
 			locals = append(locals, vals[2])
 			crats = append(crats, vals[3])
 			t.AddRow(row...)
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.AddRow("GEOMEAN", f(Geomean(maxs)), "1.000", f(Geomean(locals)), f(Geomean(crats)))
 	t.Notes = append(t.Notes,
 		"paper geomeans: CRAT-local 1.17X, CRAT 1.25X (up to 1.79X)",
@@ -56,23 +55,22 @@ func (s *Session) Figure14() (*Table, error) {
 	}
 	var sumMax, sumCrat float64
 	n := 0
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			_, dMax, err := s.Mode(p, core.ModeMaxTLP)
-			if err != nil {
-				return err
-			}
-			_, dCrat, err := s.Mode(p, core.ModeCRAT)
-			if err != nil {
-				return err
-			}
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		_, dMax, err := s.Mode(p, core.ModeMaxTLP)
+		if err != nil {
+			return nil, err
+		}
+		_, dCrat, err := s.Mode(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
 			t.AddRow(p.Abbr, fmt.Sprint(dMax.Chosen.TLP), fmt.Sprint(dCrat.Chosen.TLP))
 			sumMax += float64(dMax.Chosen.TLP)
 			sumCrat += float64(dCrat.Chosen.TLP)
 			n++
-			return nil
-		})
-	}
+		}, nil
+	})
 	if n > 0 {
 		t.AddRow("AVERAGE", f(sumMax/float64(n)), f(sumCrat/float64(n)))
 	}
@@ -90,29 +88,28 @@ func (s *Session) Figure15() (*Table, error) {
 	}
 	var sumOpt, sumCrat float64
 	n := 0
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			a, _, err := s.Analysis(p)
-			if err != nil {
-				return err
-			}
-			_, dOpt, err := s.Mode(p, core.ModeOptTLP)
-			if err != nil {
-				return err
-			}
-			_, dCrat, err := s.Mode(p, core.ModeCRAT)
-			if err != nil {
-				return err
-			}
-			uo := core.RegisterUtilization(s.Arch, dOpt.Chosen.TLP, a.BlockSize, dOpt.Chosen.Reg)
-			uc := core.RegisterUtilization(s.Arch, dCrat.Chosen.TLP, a.BlockSize, dCrat.Chosen.UsedRegs())
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		_, dOpt, err := s.Mode(p, core.ModeOptTLP)
+		if err != nil {
+			return nil, err
+		}
+		_, dCrat, err := s.Mode(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		uo := core.RegisterUtilization(s.Arch, dOpt.Chosen.TLP, a.BlockSize, dOpt.Chosen.Reg)
+		uc := core.RegisterUtilization(s.Arch, dCrat.Chosen.TLP, a.BlockSize, dCrat.Chosen.UsedRegs())
+		return func() {
 			t.AddRow(p.Abbr, f(uo), f(uc))
 			sumOpt += uo
 			sumCrat += uc
 			n++
-			return nil
-		})
-	}
+		}, nil
+	})
 	if n > 0 {
 		t.AddRow("AVERAGE", f(sumOpt/float64(n)), f(sumCrat/float64(n)))
 	}
@@ -129,25 +126,24 @@ func (s *Session) Figure16() (*Table, error) {
 		Columns: []string{"app", "CRAT-local", "CRAT", "reduction"},
 	}
 	var ratios []float64
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			stL, _, err := s.Mode(p, core.ModeCRATLocal)
-			if err != nil {
-				return err
-			}
-			if stL.LocalOps() == 0 {
-				return nil // no residual spills: not part of this figure
-			}
-			stC, _, err := s.Mode(p, core.ModeCRAT)
-			if err != nil {
-				return err
-			}
-			ratio := float64(stC.LocalOps()) / float64(stL.LocalOps())
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		stL, _, err := s.Mode(p, core.ModeCRATLocal)
+		if err != nil {
+			return nil, err
+		}
+		if stL.LocalOps() == 0 {
+			return func() {}, nil // no residual spills: not part of this figure
+		}
+		stC, _, err := s.Mode(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		ratio := float64(stC.LocalOps()) / float64(stL.LocalOps())
+		return func() {
 			ratios = append(ratios, ratio)
 			t.AddRow(p.Abbr, "1.000", f(ratio), f(1-ratio))
-			return nil
-		})
-	}
+		}, nil
+	})
 	if len(ratios) > 0 {
 		sum := 0.0
 		for _, r := range ratios {
@@ -170,23 +166,22 @@ func (s *Session) Energy() (*Table, error) {
 		Columns: []string{"app", "OptTLP (J)", "CRAT (J)", "CRAT/OptTLP"},
 	}
 	var ratios []float64
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			stO, _, err := s.Mode(p, core.ModeOptTLP)
-			if err != nil {
-				return err
-			}
-			stC, _, err := s.Mode(p, core.ModeCRAT)
-			if err != nil {
-				return err
-			}
-			eo := model.Energy(s.Arch, stO)
-			ec := model.Energy(s.Arch, stC)
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		stO, _, err := s.Mode(p, core.ModeOptTLP)
+		if err != nil {
+			return nil, err
+		}
+		stC, _, err := s.Mode(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		eo := model.Energy(s.Arch, stO)
+		ec := model.Energy(s.Arch, stC)
+		return func() {
 			ratios = append(ratios, ec/eo)
 			t.AddRow(p.Abbr, fmt.Sprintf("%.2e", eo), fmt.Sprintf("%.2e", ec), f(ec/eo))
-			return nil
-		})
-	}
+		}, nil
+	})
 	if len(ratios) > 0 {
 		sum := 0.0
 		for _, r := range ratios {

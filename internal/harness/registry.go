@@ -63,8 +63,10 @@ func Experiments() []Experiment {
 
 // RunExperiments executes the selected experiment IDs ("all" or empty =
 // everything) and renders results to w. Sessions are shared per
-// architecture so figures reuse each other's simulations.
-func RunExperiments(ids []string, w io.Writer) error {
+// architecture so figures reuse each other's simulations. workers bounds
+// each session's simulation fan-out (0 = one per CPU, 1 = serial); the
+// rendered output is identical at any setting.
+func RunExperiments(ids []string, workers int, w io.Writer) error {
 	wanted := make(map[string]bool)
 	for _, id := range ids {
 		if id == "all" {
@@ -89,6 +91,7 @@ func RunExperiments(ids []string, w io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
+		s.SetWorkers(workers)
 		sessions[arch] = s
 		return s, nil
 	}

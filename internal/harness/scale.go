@@ -17,17 +17,16 @@ func (s *Session) Figure17() (*Table, error) {
 		Columns: []string{"app", "CRAT speedup"},
 	}
 	var speeds []float64
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			sp, err := s.Speedup(p, core.ModeCRAT)
-			if err != nil {
-				return err
-			}
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		sp, err := s.Speedup(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
 			speeds = append(speeds, sp)
 			t.AddRow(p.Abbr, f(sp))
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.AddRow("GEOMEAN", f(Geomean(speeds)))
 	t.Notes = append(t.Notes, "paper: 1.32X geomean on Kepler (vs 1.25X on Fermi); the larger register file shrinks some gains (LBM, FDTD, CFD) and the higher thread limit grows others (SPMV, HST, BLK, STE)")
 	return t, nil
@@ -42,45 +41,52 @@ func (s *Session) Figure18() (*Table, error) {
 		Title:   "CRAT speedup across inputs (paper Fig 18)",
 		Columns: []string{"app", "input", "OptTLP (profiled)", "CRAT speedup"},
 	}
+	var profiles []workloads.Profile
 	for _, abbr := range []string{"CFD", "BLK"} {
 		p, _ := workloads.ByAbbr(abbr)
-		s.perApp(t, abbr, func() error {
-			// Profile the decision on the default input.
-			a, _, err := s.Analysis(p)
-			if err != nil {
-				return err
-			}
-			_, d, err := s.Mode(p, core.ModeCRAT)
-			if err != nil {
-				return err
-			}
-			for _, in := range workloads.InputsFor(abbr) {
-				app := p.AppWithInput(in)
-				// Per-input OptTLP baseline at the default allocation.
-				ai, err := core.Analyze(app, s.Arch)
-				if err != nil {
-					return err
-				}
-				opt, _, err := core.ProfileOptTLP(app, s.Arch, ai)
-				if err != nil {
-					return err
-				}
-				baseSt, _, err := core.RunMode(app, core.ModeOptTLP, core.Options{Arch: s.Arch, OptTLP: opt, Costs: s.Costs})
-				if err != nil {
-					return err
-				}
-				// Apply the default-input decision (same kernel; inputs share
-				// the kernel, only the launch differs).
-				st, err := core.SimulateKernel(app, s.Arch, d.Chosen.Kernel(), d.Chosen.UsedRegs(), d.Chosen.TLP)
-				if err != nil {
-					return err
-				}
-				t.AddRow(abbr, in.Name, fmt.Sprint(a.OptTLP),
-					f(float64(baseSt.Cycles)/float64(st.Cycles)))
-			}
-			return nil
-		})
+		profiles = append(profiles, p)
 	}
+	s.forApps(t, profiles, func(p workloads.Profile) (func(), error) {
+		// Profile the decision on the default input.
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		_, d, err := s.Mode(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		var rows [][]string
+		for _, in := range workloads.InputsFor(p.Abbr) {
+			app := p.AppWithInput(in)
+			// Per-input OptTLP baseline at the default allocation.
+			ai, err := core.Analyze(app, s.Arch)
+			if err != nil {
+				return nil, err
+			}
+			opt, _, err := core.ProfileOptTLPN(app, s.Arch, ai, s.Workers())
+			if err != nil {
+				return nil, err
+			}
+			baseSt, _, err := core.RunMode(app, core.ModeOptTLP, core.Options{Arch: s.Arch, OptTLP: opt, Costs: s.Costs})
+			if err != nil {
+				return nil, err
+			}
+			// Apply the default-input decision (same kernel; inputs share
+			// the kernel, only the launch differs).
+			st, err := core.SimulateKernel(app, s.Arch, d.Chosen.Kernel(), d.Chosen.UsedRegs(), d.Chosen.TLP)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, []string{p.Abbr, in.Name, fmt.Sprint(a.OptTLP),
+				f(float64(baseSt.Cycles) / float64(st.Cycles))})
+		}
+		return func() {
+			for _, r := range rows {
+				t.AddRow(r...)
+			}
+		}, nil
+	})
 	t.Notes = append(t.Notes,
 		"paper: different profiling inputs give the same OptTLP; CRAT's speedup holds across inputs")
 	return t, nil
@@ -95,22 +101,21 @@ func (s *Session) Figure19() (*Table, error) {
 		Columns: []string{"app", "MaxTLP", "OptTLP", "CRAT"},
 	}
 	var maxs, crats []float64
-	for _, p := range workloads.Insensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			spMax, err := s.Speedup(p, core.ModeMaxTLP)
-			if err != nil {
-				return err
-			}
-			spCrat, err := s.Speedup(p, core.ModeCRAT)
-			if err != nil {
-				return err
-			}
+	s.forApps(t, workloads.Insensitive(), func(p workloads.Profile) (func(), error) {
+		spMax, err := s.Speedup(p, core.ModeMaxTLP)
+		if err != nil {
+			return nil, err
+		}
+		spCrat, err := s.Speedup(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
 			maxs = append(maxs, spMax)
 			crats = append(crats, spCrat)
 			t.AddRow(p.Abbr, f(spMax), "1.000", f(spCrat))
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.AddRow("GEOMEAN", f(Geomean(maxs)), "1.000", f(Geomean(crats)))
 	t.Notes = append(t.Notes, "paper: no remarkable improvement for either technique on this class")
 	return t, nil
@@ -125,37 +130,36 @@ func (s *Session) Figure20() (*Table, error) {
 		Columns: []string{"app", "OptTLP profiled", "OptTLP static", "CRAT-profile", "CRAT-static"},
 	}
 	var profs, stats []float64
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			a, _, err := s.Analysis(p)
-			if err != nil {
-				return err
-			}
-			spProf, err := s.Speedup(p, core.ModeCRAT)
-			if err != nil {
-				return err
-			}
-			app := s.App(p)
-			in, err := core.MeasureStaticInputs(app, s.Arch, a)
-			if err != nil {
-				return err
-			}
-			optStatic := core.EstimateOptTLP(a, s.Arch, in)
-			stStatic, _, err := core.RunMode(app, core.ModeCRAT, core.Options{Arch: s.Arch, OptTLP: optStatic, Costs: s.Costs})
-			if err != nil {
-				return err
-			}
-			base, _, err := s.Mode(p, core.ModeOptTLP)
-			if err != nil {
-				return err
-			}
-			spStatic := float64(base.Cycles) / float64(stStatic.Cycles)
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		a, _, err := s.Analysis(p)
+		if err != nil {
+			return nil, err
+		}
+		spProf, err := s.Speedup(p, core.ModeCRAT)
+		if err != nil {
+			return nil, err
+		}
+		app := s.App(p)
+		in, err := core.MeasureStaticInputs(app, s.Arch, a)
+		if err != nil {
+			return nil, err
+		}
+		optStatic := core.EstimateOptTLP(a, s.Arch, in)
+		stStatic, _, err := core.RunMode(app, core.ModeCRAT, core.Options{Arch: s.Arch, OptTLP: optStatic, Costs: s.Costs})
+		if err != nil {
+			return nil, err
+		}
+		base, _, err := s.Mode(p, core.ModeOptTLP)
+		if err != nil {
+			return nil, err
+		}
+		spStatic := float64(base.Cycles) / float64(stStatic.Cycles)
+		return func() {
 			profs = append(profs, spProf)
 			stats = append(stats, spStatic)
 			t.AddRow(p.Abbr, fmt.Sprint(a.OptTLP), fmt.Sprint(optStatic), f(spProf), f(spStatic))
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.AddRow("GEOMEAN", "", "", f(Geomean(profs)), f(Geomean(stats)))
 	t.Notes = append(t.Notes, "paper: CRAT-static achieves 1.22X vs CRAT-profile's 1.25X")
 	return t, nil
@@ -170,32 +174,31 @@ func (s *Session) Overhead() (*Table, error) {
 		Columns: []string{"app", "profiling sims", "profiling wall", "static wall"},
 	}
 	totalRuns := 0
-	for _, p := range workloads.Sensitive() {
-		s.perApp(t, p.Abbr, func() error {
-			app := s.App(p)
-			a, err := core.Analyze(app, s.Arch)
-			if err != nil {
-				return err
-			}
-			startP := time.Now()
-			_, runs, err := core.ProfileOptTLP(app, s.Arch, a)
-			if err != nil {
-				return err
-			}
-			profWall := time.Since(startP)
-			startS := time.Now()
-			in, err := core.MeasureStaticInputs(app, s.Arch, a)
-			if err != nil {
-				return err
-			}
-			_ = core.EstimateOptTLP(a, s.Arch, in)
-			statWall := time.Since(startS)
+	s.forApps(t, workloads.Sensitive(), func(p workloads.Profile) (func(), error) {
+		app := s.App(p)
+		a, err := core.Analyze(app, s.Arch)
+		if err != nil {
+			return nil, err
+		}
+		startP := time.Now()
+		_, runs, err := core.ProfileOptTLPN(app, s.Arch, a, s.Workers())
+		if err != nil {
+			return nil, err
+		}
+		profWall := time.Since(startP)
+		startS := time.Now()
+		in, err := core.MeasureStaticInputs(app, s.Arch, a)
+		if err != nil {
+			return nil, err
+		}
+		_ = core.EstimateOptTLP(a, s.Arch, in)
+		statWall := time.Since(startS)
+		return func() {
 			totalRuns += len(runs)
 			t.AddRow(p.Abbr, fmt.Sprint(len(runs)), profWall.Round(time.Millisecond).String(),
 				statWall.Round(time.Millisecond).String())
-			return nil
-		})
-	}
+		}, nil
+	})
 	t.AddRow("TOTAL", fmt.Sprint(totalRuns), "", "")
 	t.Notes = append(t.Notes,
 		"paper: profiling needs <= MaxTLP runs per app (avg 5, max 8); static analysis needs one cheap TLP=1 run plus ~1ms of analysis",

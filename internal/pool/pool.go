@@ -1,0 +1,81 @@
+// Package pool provides a minimal bounded worker pool for fanning out
+// index-addressed work. It is the single concurrency primitive shared by the
+// experiment harness and the core optimizer: callers write results into
+// pre-sized slices at their job index, so output order never depends on
+// scheduling.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes 0: one worker
+// per available CPU.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run invokes fn(i) for every i in [0, n), using at most `workers`
+// goroutines. workers <= 0 means DefaultWorkers(). With one worker (or one
+// job) it degenerates to a plain loop on the calling goroutine, so serial
+// behaviour — including panic propagation — is exactly the pre-pool code
+// path.
+//
+// Jobs are handed out by an atomic counter, so early-finishing workers steal
+// remaining indices rather than idling. Run returns only after every started
+// job has finished. If any fn panics, Run re-panics with the first captured
+// value after all workers have stopped; the remaining jobs may or may not
+// have run. fn must therefore confine its effects to its own index (or
+// synchronize internally).
+func Run(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				fn(i)
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,60 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]atomic.Int32
+		Run(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroItems(t *testing.T) {
+	Run(4, 0, func(i int) { t.Errorf("fn called with n=0 (i=%d)", i) })
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	Run(4, 8, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}
+
+func TestRunPanicDrainsRemainingWork(t *testing.T) {
+	var ran atomic.Int32
+	func() {
+		defer func() { recover() }()
+		Run(2, 50, func(i int) {
+			ran.Add(1)
+			if i == 0 {
+				panic("first")
+			}
+		})
+	}()
+	// One worker panicking must not strand the others' items: the pool
+	// keeps draining, so every index still runs exactly once.
+	if got := ran.Load(); got != 50 {
+		t.Errorf("%d items ran, want all 50 despite the panic", got)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Errorf("DefaultWorkers() = %d, want >= 1", DefaultWorkers())
+	}
+}

@@ -229,7 +229,7 @@ func TestVerifyErrorFormat(t *testing.T) {
 func TestVerifyDoesNotPanicOnUnprintable(t *testing.T) {
 	b := NewBuilder("garbage")
 	r := b.Reg(U32)
-	b.Add(U32, r, R(Reg(1 << 20)), Imm(1))
+	b.Add(U32, r, R(Reg(1<<20)), Imm(1))
 	b.Exit()
 	err := Verify(b.Kernel(), "test")
 	if err == nil {
