@@ -6,7 +6,9 @@ GO ?= go
 FUZZTIME ?= 10s
 BENCHDATE := $(shell date +%F)
 
-.PHONY: all build vet test race race-harness bench-smoke bench-json fuzz-smoke ci
+SMOKEDIR := /tmp/crat-checkpoint-smoke
+
+.PHONY: all build vet test race race-harness bench-smoke bench-json checkpoint-smoke fuzz-smoke ci
 
 all: build
 
@@ -37,10 +39,26 @@ bench-smoke:
 bench-json:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -o BENCH_$(BENCHDATE).json
 
+# Checkpoint round-trip smoke: run two experiments clean, re-run them with
+# -checkpoint and kill the process mid-flight (SIGINT, as a user would), then
+# -resume and require the resumed output byte-identical to the clean run.
+# Guards the whole durability stack end to end: signal handling, journal
+# atomicity, manifest validation, and deterministic decision rebuild.
+checkpoint-smoke:
+	rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)
+	$(GO) build -o $(SMOKEDIR)/experiments ./cmd/experiments
+	$(SMOKEDIR)/experiments -run fig12,fig8 -j 4 > $(SMOKEDIR)/clean.txt
+	-timeout -s INT 6 $(SMOKEDIR)/experiments -run fig12,fig8 -j 4 -checkpoint $(SMOKEDIR)/ck > $(SMOKEDIR)/killed.txt
+	$(SMOKEDIR)/experiments -run fig12,fig8 -j 4 -checkpoint $(SMOKEDIR)/ck -resume > $(SMOKEDIR)/resumed.txt
+	grep -v '^done in\|^checkpoint:' $(SMOKEDIR)/clean.txt > $(SMOKEDIR)/clean.norm
+	grep -v '^done in\|^checkpoint:' $(SMOKEDIR)/resumed.txt > $(SMOKEDIR)/resumed.norm
+	diff $(SMOKEDIR)/clean.norm $(SMOKEDIR)/resumed.norm
+	@echo "checkpoint-smoke: resumed output is byte-identical to the clean run"
+
 # Short fuzz runs of the kernel and module parsers (no-panic + print/parse
 # round-trip properties). Seeds come from the workload kernels.
 fuzz-smoke:
 	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParseModule -fuzztime=$(FUZZTIME)
 
-ci: vet build race race-harness bench-smoke fuzz-smoke
+ci: vet build race race-harness checkpoint-smoke bench-smoke fuzz-smoke

@@ -12,10 +12,12 @@ package crat_test
 
 import (
 	"io"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
 
+	"crat/internal/checkpoint"
 	"crat/internal/core"
 	"crat/internal/gpusim"
 	"crat/internal/harness"
@@ -312,6 +314,53 @@ func BenchmarkAblationBypass(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCheckpointResume measures the cost of resuming a checkpointed
+// session versus recomputing: a cold pass persists one app's analysis and
+// CRAT evaluation, then the timed pass resumes the journal and replays the
+// same requests. checkpoint-hits / checkpoint-persisted record how much of
+// the work the journal absorbed (0 hits would mean resume is broken).
+func BenchmarkCheckpointResume(b *testing.B) {
+	arch := gpusim.FermiConfig()
+	p, ok := workloads.ByAbbr("STM")
+	if !ok {
+		b.Fatal("STM workload missing")
+	}
+	dir := b.TempDir()
+	warm, err := harness.NewSession(arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := checkpoint.Open(filepath.Join(dir, "fermi"), warm.ConfigHash(), "bench", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.SetCheckpoint(st)
+	if _, _, err := warm.Mode(p, core.ModeCRAT); err != nil {
+		b.Fatal(err)
+	}
+	persisted := st.Count()
+
+	var hits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := checkpoint.Open(filepath.Join(dir, "fermi"), warm.ConfigHash(), "bench", true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := harness.NewSession(arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetCheckpoint(st)
+		if _, _, err := s.Mode(p, core.ModeCRAT); err != nil {
+			b.Fatal(err)
+		}
+		hits = s.CheckpointHitCount()
+	}
+	b.ReportMetric(float64(hits), "checkpoint-hits")
+	b.ReportMetric(float64(persisted), "checkpoint-persisted")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed (warp

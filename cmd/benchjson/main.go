@@ -41,6 +41,11 @@ type Report struct {
 	// Headline flattens every custom (non-ns/op, non-allocation) metric
 	// across all benchmarks; duplicate units keep the last value seen.
 	Headline map[string]float64 `json:"headline"`
+	// Checkpoint collects the durability counters ("checkpoint-*" units,
+	// e.g. checkpoint-hits from BenchmarkCheckpointResume) separately from
+	// the paper's headline metrics: they track the resume machinery, not
+	// simulated results.
+	Checkpoint map[string]float64 `json:"checkpoint,omitempty"`
 }
 
 // parseLine parses a `go test -bench` result line, e.g.
@@ -108,6 +113,13 @@ func run(out string) error {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)
 		for unit, v := range b.Metrics {
+			if strings.HasPrefix(unit, "checkpoint-") {
+				if rep.Checkpoint == nil {
+					rep.Checkpoint = map[string]float64{}
+				}
+				rep.Checkpoint[unit] = v
+				continue
+			}
 			if headlineUnit(unit) {
 				rep.Headline[unit] = v
 			}

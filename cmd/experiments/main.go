@@ -6,16 +6,26 @@
 //	experiments -run all
 //	experiments -run fig13,fig14,fig15
 //	experiments -run all -j 4
+//	experiments -run all -timeout 10m -checkpoint ckpt
+//	experiments -run all -checkpoint ckpt -resume
 //	experiments -list
+//
+// A run is safely interruptible: Ctrl-C (or -timeout expiring) stops
+// dispatching new simulations, drains the workers, flushes the checkpoint
+// journal, and reports what survived. A later invocation with -checkpoint
+// and -resume picks up from the persisted results without re-simulating
+// them; the output is byte-identical to an uninterrupted run.
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for the
 // paper-vs-measured record.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -28,6 +38,14 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	workers := flag.Int("j", pool.DefaultWorkers(),
 		"max parallel simulations (1 = serial; output is identical either way)")
+	timeout := flag.Duration("timeout", 0,
+		"wall-clock budget for the whole run (0 = none); on expiry in-flight simulations abort with a deadline fault")
+	ckptDir := flag.String("checkpoint", "",
+		"directory for the crash-safe result journal (empty = no checkpointing)")
+	resume := flag.Bool("resume", false,
+		"load results already persisted in -checkpoint instead of starting fresh")
+	strict := flag.Bool("strict", false,
+		"exit 1 if any fault was captured (default: degrade to ERROR rows and exit 0)")
 	flag.Parse()
 
 	if *list || *runFlag == "" {
@@ -44,13 +62,48 @@ func main() {
 		}
 		return
 	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint DIR")
+		os.Exit(2)
+	}
+
+	// SIGINT cancels the run context: workers drain, completed results are
+	// already journaled, and the survival report below still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	start := time.Now()
 	ids := strings.Split(*runFlag, ",")
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
-	if err := harness.RunExperiments(ids, *workers, os.Stdout); err != nil {
+	opts := harness.RunOptions{
+		Workers:       *workers,
+		Strict:        *strict,
+		CheckpointDir: *ckptDir,
+		Resume:        *resume,
+	}
+	rep, err := harness.RunExperimentsCtx(ctx, ids, opts, os.Stdout)
+	if rep != nil && *ckptDir != "" {
+		fmt.Printf("checkpoint: %d result(s) persisted in %s (%d inherited via -resume, %d served from checkpoint)\n",
+			rep.Persisted, *ckptDir, rep.Loaded, rep.CkptHits)
+	}
+	if rep != nil && ctx.Err() != nil {
+		// Interrupted (Ctrl-C) or out of budget (-timeout): say what survived.
+		total := len(harness.Experiments())
+		if ids[0] != "all" {
+			total = len(ids)
+		}
+		done := total - len(rep.Failed)
+		fmt.Printf("interrupted (%v): %d/%d experiment(s) completed cleanly, %d fault(s) captured\n",
+			ctx.Err(), done, total, rep.Faults)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,0 +1,245 @@
+// Package checkpoint persists completed experiment results so an
+// interrupted sweep can resume without re-simulating. A store is a
+// directory holding two files:
+//
+//   - manifest.json — the session identity: format version plus a caller
+//     supplied key (a hash of the simulated configuration). A resume
+//     against a manifest whose key differs is rejected (ErrStale): results
+//     computed under another configuration must never be replayed.
+//   - journal.json — a map from result key (e.g. "mode/CFD/CRAT") to the
+//     JSON payload of the completed result.
+//
+// Every write goes through a temp file in the same directory, an fsync,
+// and an atomic rename, followed by a directory fsync — a crash or kill at
+// any instant leaves either the old or the new file, never a partial one.
+// Leftover temp files from a killed writer are swept on Open.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Version is the on-disk format version; bumping it invalidates every
+// existing checkpoint.
+const Version = 1
+
+// ErrStale is returned by Open when resuming against a manifest written
+// for a different configuration (or format version).
+var ErrStale = errors.New("checkpoint: stale checkpoint rejected")
+
+type manifest struct {
+	Version int    `json:"version"`
+	Key     string `json:"key"`
+	Label   string `json:"label,omitempty"`
+}
+
+// Store is a durable map from result keys to JSON payloads. All methods
+// are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	entries map[string]json.RawMessage
+	loaded  int // entries restored from disk at Open (resume)
+}
+
+// Hash returns a hex SHA-256 of v's canonical JSON encoding — the
+// configuration fingerprint stored in the manifest.
+func Hash(v any) (string, error) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: hashing config: %w", err)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Open creates or reopens a store at dir. key identifies the configuration
+// the results are valid for; label is a human-readable tag recorded in the
+// manifest (e.g. the architecture name). With resume set, an existing
+// journal is loaded — after verifying the manifest's key matches, anything
+// else is ErrStale. Without resume, any existing journal is discarded and
+// the store starts empty.
+func Open(dir, key, label string, resume bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Sweep temp files a killed writer may have left behind.
+	if names, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, n := range names {
+			os.Remove(n)
+		}
+	}
+	s := &Store{dir: dir, entries: make(map[string]json.RawMessage)}
+
+	manifestPath := filepath.Join(dir, "manifest.json")
+	if resume {
+		buf, err := os.ReadFile(manifestPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing to resume from: start fresh below.
+		case err != nil:
+			return nil, err
+		default:
+			var m manifest
+			if err := json.Unmarshal(buf, &m); err != nil {
+				return nil, fmt.Errorf("checkpoint: corrupt manifest %s: %w", manifestPath, err)
+			}
+			if m.Version != Version || m.Key != key {
+				return nil, fmt.Errorf("%w: manifest (version=%d key=%.12s…) does not match current configuration (version=%d key=%.12s…)",
+					ErrStale, m.Version, m.Key, Version, key)
+			}
+			if err := s.loadJournal(); err != nil {
+				return nil, err
+			}
+			s.loaded = len(s.entries)
+			return s, nil
+		}
+	}
+	// Fresh store: drop any previous journal, then persist the manifest.
+	if err := os.Remove(filepath.Join(dir, "journal.json")); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(manifest{Version: Version, Key: key, Label: label}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := writeAtomic(dir, "manifest.json", buf); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) loadJournal() error {
+	buf, err := os.ReadFile(filepath.Join(s.dir, "journal.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(buf, &s.entries); err != nil {
+		return fmt.Errorf("checkpoint: corrupt journal in %s: %w", s.dir, err)
+	}
+	return nil
+}
+
+// Get unmarshals the payload stored under key into out, reporting whether
+// the key was present.
+func (s *Store) Get(key string, out any) (bool, error) {
+	s.mu.Lock()
+	raw, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("checkpoint: entry %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Has reports whether key is present without decoding it.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Put records v under key and durably rewrites the journal. The write is
+// atomic: a crash mid-Put preserves every previously persisted entry.
+func (s *Store) Put(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding %q: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[key] = raw
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	buf, err := json.MarshalIndent(s.entries, "", " ")
+	if err != nil {
+		return err
+	}
+	return writeAtomic(s.dir, "journal.json", buf)
+}
+
+// Count returns the number of persisted entries.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Loaded returns how many entries were restored from disk at Open — the
+// resume inheritance, as opposed to entries added this session.
+func (s *Store) Loaded() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loaded
+}
+
+// Keys returns the persisted keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Flush rewrites the journal. Puts already persist eagerly, so Flush only
+// matters as a final barrier before reporting "everything survived".
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// writeAtomic writes name in dir via temp file + fsync + rename + dir
+// fsync: the destination is either untouched or fully replaced.
+func writeAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

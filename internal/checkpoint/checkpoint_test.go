@@ -1,0 +1,184 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	Cycles int64   `json:"cycles"`
+	Rate   float64 `json:"rate"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "cfg-a", "fermi", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload{Cycles: 12345, Rate: 0.62}
+	if err := s.Put("mode/CFD/CRAT", want); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh resume sees the entry byte-exactly.
+	r, err := Open(dir, "cfg-a", "fermi", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	ok, err := r.Get("mode/CFD/CRAT", &got)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v; want hit", ok, err)
+	}
+	if got != want {
+		t.Errorf("round trip %+v != %+v", got, want)
+	}
+	if r.Loaded() != 1 || r.Count() != 1 {
+		t.Errorf("Loaded=%d Count=%d, want 1/1", r.Loaded(), r.Count())
+	}
+}
+
+func TestStaleKeyRejected(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, "cfg-a", "fermi", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "cfg-b", "fermi", true); !errors.Is(err, ErrStale) {
+		t.Errorf("resume under a different config key: err = %v, want ErrStale", err)
+	}
+	// Opening fresh (no resume) under the new key is allowed and rewrites
+	// the manifest.
+	s, err := Open(dir, "cfg-b", "fermi", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 0 {
+		t.Errorf("fresh open kept %d stale entries", s.Count())
+	}
+	if _, err := Open(dir, "cfg-b", "fermi", true); err != nil {
+		t.Errorf("resume after fresh re-key: %v", err)
+	}
+}
+
+func TestFreshOpenDiscardsJournal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "k", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", payload{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, "k", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count() != 0 || s2.Has("a") {
+		t.Error("fresh open kept old journal entries")
+	}
+}
+
+func TestResumeWithoutManifestStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "k", "", true)
+	if err != nil {
+		t.Fatalf("resume of an empty dir must succeed: %v", err)
+	}
+	if s.Count() != 0 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	// The manifest must now exist so a later resume validates against it.
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Errorf("manifest not created: %v", err)
+	}
+}
+
+func TestLeftoverTempFilesSwept(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, "k", "", false); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer killed mid-write.
+	junk := filepath.Join(dir, "journal.json.123.tmp")
+	if err := os.WriteFile(junk, []byte("{partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, "k", "", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(junk); !errors.Is(err, os.ErrNotExist) {
+		t.Error("leftover temp file not swept on Open")
+	}
+	// And no temp files linger after normal operation either.
+	s, err := Open(dir, "k", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprint("key", i), payload{Cycles: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 0 {
+		t.Errorf("temp files linger after Puts: %v", tmps)
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, "k", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Put(fmt.Sprint("key/", i), payload{Cycles: int64(i)}); err != nil {
+				t.Errorf("put %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	r, err := Open(dir, "k", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 16 {
+		t.Errorf("resumed %d entries, want 16", r.Count())
+	}
+	keys := r.Keys()
+	if len(keys) != 16 || !strings.HasPrefix(keys[0], "key/") {
+		t.Errorf("Keys() = %v", keys)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	type cfg struct {
+		A int
+		B string
+	}
+	h1, err := Hash(cfg{1, "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := Hash(cfg{1, "x"})
+	h3, _ := Hash(cfg{2, "x"})
+	if h1 != h2 {
+		t.Error("hash not deterministic")
+	}
+	if h1 == h3 {
+		t.Error("hash ignores field changes")
+	}
+	if len(h1) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(h1))
+	}
+}

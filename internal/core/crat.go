@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"crat/internal/gpusim"
@@ -130,6 +131,15 @@ type Decision struct {
 // pruning, per-candidate register allocation and spilling optimization, and
 // TPSC selection.
 func Optimize(app App, opts Options) (*Decision, error) {
+	return OptimizeCtx(context.Background(), app, opts)
+}
+
+// OptimizeCtx is Optimize under a context: the profiling and Oracle sweeps
+// observe cancellation and wall-clock deadlines. With Options.OptTLP set and
+// Options.Costs supplied (and Oracle off), the pipeline runs no simulations
+// at all — the checkpoint/resume path relies on that to rebuild decisions
+// deterministically from persisted stats.
+func OptimizeCtx(ctx context.Context, app App, opts Options) (*Decision, error) {
 	if err := ptx.Verify(app.Kernel, "input"); err != nil {
 		return nil, err
 	}
@@ -152,7 +162,7 @@ func Optimize(app App, opts Options) (*Decision, error) {
 		a.OptTLP = EstimateOptTLP(a, arch, in)
 		d.ProfileRuns = 1
 	default:
-		opt, runs, err := ProfileOptTLPN(app, arch, a, opts.profileWorkers())
+		opt, runs, err := ProfileOptTLPNCtx(ctx, app, arch, a, opts.profileWorkers())
 		if err != nil {
 			return nil, err
 		}
@@ -206,15 +216,20 @@ func Optimize(app App, opts Options) (*Decision, error) {
 		// winner (and first error) matches the serial loop.
 		stats := make([]gpusim.Stats, len(d.Candidates))
 		errs := make([]error, len(d.Candidates))
-		pool.Run(opts.profileWorkers(), len(d.Candidates), func(i int) {
+		poolErr := pool.RunCtx(ctx, opts.profileWorkers(), len(d.Candidates), func(i int) {
 			c := &d.Candidates[i]
-			stats[i], errs[i] = Simulate(app, arch, &appKernel{k: c.Kernel(), regs: c.UsedRegs()}, c.TLP)
+			stats[i], errs[i] = SimulateCtx(ctx, app, arch, &appKernel{k: c.Kernel(), regs: c.UsedRegs()}, c.TLP)
 		})
+		for _, e := range errs {
+			if e != nil {
+				return nil, e
+			}
+		}
+		if poolErr != nil {
+			return nil, poolErr
+		}
 		bestIdx, bestCycles := -1, int64(0)
 		for i := range d.Candidates {
-			if errs[i] != nil {
-				return nil, errs[i]
-			}
 			d.Candidates[i].Cycles = stats[i].Cycles
 			if bestIdx == -1 || stats[i].Cycles < bestCycles {
 				bestIdx, bestCycles = i, stats[i].Cycles
@@ -291,22 +306,35 @@ func SpareShm(arch gpusim.Config, shmUsed int64, tlp int) int64 {
 	return spare
 }
 
-// RunMode builds and simulates the kernel for one comparison mode,
-// returning the stats and the effective (reg, TLP) configuration.
-func RunMode(app App, mode Mode, opts Options) (gpusim.Stats, *Decision, error) {
+// modePlan is the compile-only product of planModeCtx: the decision plus
+// the exact launch parameters RunMode would hand to the simulator.
+type modePlan struct {
+	d      *Decision
+	kernel *ptx.Kernel
+	regs   int
+	tlp    int // TLPLimit for the simulator (0 = hardware maximum)
+}
+
+// planModeCtx performs everything RunMode does except the final
+// simulation: analysis, OptTLP determination, allocation, and (for the CRAT
+// modes) the full optimization pipeline. With Options.OptTLP and
+// Options.Costs supplied it is purely deterministic compilation — no
+// simulator cycles — which is what lets checkpoint resume rebuild a
+// Decision byte-identically from persisted stats.
+func planModeCtx(ctx context.Context, app App, mode Mode, opts Options) (*modePlan, error) {
 	if err := ptx.Verify(app.Kernel, "input"); err != nil {
-		return gpusim.Stats{}, nil, err
+		return nil, err
 	}
 	arch := opts.Arch
 	switch mode {
 	case ModeMaxTLP, ModeOptTLP:
 		a, err := Analyze(app, arch)
 		if err != nil {
-			return gpusim.Stats{}, nil, err
+			return nil, err
 		}
 		alloc, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: a.DefaultReg})
 		if err != nil {
-			return gpusim.Stats{}, nil, err
+			return nil, err
 		}
 		tlp := 0 // hardware maximum
 		if mode == ModeOptTLP {
@@ -316,36 +344,66 @@ func RunMode(app App, mode Mode, opts Options) (gpusim.Stats, *Decision, error) 
 			case opts.StaticOptTLP:
 				in, err := MeasureStaticInputs(app, arch, a)
 				if err != nil {
-					return gpusim.Stats{}, nil, err
+					return nil, err
 				}
 				a.OptTLP = EstimateOptTLP(a, arch, in)
 			default:
-				opt, _, err := ProfileOptTLPN(app, arch, a, opts.profileWorkers())
+				opt, _, err := ProfileOptTLPNCtx(ctx, app, arch, a, opts.profileWorkers())
 				if err != nil {
-					return gpusim.Stats{}, nil, err
+					return nil, err
 				}
 				a.OptTLP = opt
 			}
 			tlp = a.OptTLP
 		}
-		st, err := Simulate(app, arch, &appKernel{k: alloc.Kernel, regs: alloc.UsedRegs}, tlp)
 		d := &Decision{App: app, Arch: arch, Analysis: a}
 		d.Chosen = Candidate{Reg: a.DefaultReg, TLP: tlp, Alloc: alloc, Overhead: alloc.Kernel.SpillOverhead()}
 		if tlp == 0 {
 			d.Chosen.TLP = a.MaxTLP
 		}
-		return st, d, err
+		return &modePlan{d: d, kernel: alloc.Kernel, regs: alloc.UsedRegs, tlp: tlp}, nil
 	case ModeCRATLocal, ModeCRAT:
 		o := opts
 		o.SpillShared = mode == ModeCRAT
-		d, err := Optimize(app, o)
+		d, err := OptimizeCtx(ctx, app, o)
 		if err != nil {
-			return gpusim.Stats{}, nil, err
+			return nil, err
 		}
-		st, err := Simulate(app, arch, &appKernel{k: d.Chosen.Kernel(), regs: d.Chosen.UsedRegs()}, d.Chosen.TLP)
-		return st, d, err
+		return &modePlan{d: d, kernel: d.Chosen.Kernel(), regs: d.Chosen.UsedRegs(), tlp: d.Chosen.TLP}, nil
 	}
-	return gpusim.Stats{}, nil, fmt.Errorf("core: unknown mode %d", mode)
+	return nil, fmt.Errorf("core: unknown mode %d", mode)
+}
+
+// CompileModeCtx builds the Decision for one comparison mode without the
+// final simulation. Callers that already hold the mode's simulated stats
+// (checkpoint resume) use it to reconstitute the full decision
+// deterministically; Options.OptTLP and Options.Costs should be set so no
+// profiling simulations run.
+func CompileModeCtx(ctx context.Context, app App, mode Mode, opts Options) (*Decision, error) {
+	pl, err := planModeCtx(ctx, app, mode, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.d, nil
+}
+
+// RunMode builds and simulates the kernel for one comparison mode,
+// returning the stats and the effective (reg, TLP) configuration.
+func RunMode(app App, mode Mode, opts Options) (gpusim.Stats, *Decision, error) {
+	return RunModeCtx(context.Background(), app, mode, opts)
+}
+
+// RunModeCtx is RunMode under a context: profiling sweeps and the final
+// simulation observe cancellation and deadlines. On a simulation fault the
+// compiled Decision is still returned alongside the error, matching the
+// historical RunMode contract.
+func RunModeCtx(ctx context.Context, app App, mode Mode, opts Options) (gpusim.Stats, *Decision, error) {
+	pl, err := planModeCtx(ctx, app, mode, opts)
+	if err != nil {
+		return gpusim.Stats{}, nil, err
+	}
+	st, err := SimulateCtx(ctx, app, opts.Arch, &appKernel{k: pl.kernel, regs: pl.regs}, pl.tlp)
+	return st, pl.d, err
 }
 
 // RegisterUtilization returns the fraction of the register file a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,6 +15,12 @@ import (
 // prepared by app.Setup, regsPerThread feeds the occupancy calculation and
 // tlpLimit throttles resident blocks (0 = hardware maximum).
 func Simulate(app App, arch gpusim.Config, kernel *appKernel, tlpLimit int) (gpusim.Stats, error) {
+	return SimulateCtx(context.Background(), app, arch, kernel, tlpLimit)
+}
+
+// SimulateCtx is Simulate under a context: cancellation or an expired
+// deadline aborts the cycle loop with a structured gpusim fault.
+func SimulateCtx(ctx context.Context, app App, arch gpusim.Config, kernel *appKernel, tlpLimit int) (gpusim.Stats, error) {
 	mem := gpusim.NewMemory()
 	params := app.Setup(mem)
 	sim, err := gpusim.NewSimulator(arch, mem, gpusim.Launch{
@@ -27,7 +34,7 @@ func Simulate(app App, arch gpusim.Config, kernel *appKernel, tlpLimit int) (gpu
 	if err != nil {
 		return gpusim.Stats{}, fmt.Errorf("core: %s: %w", app.Name, err)
 	}
-	return sim.Run()
+	return sim.RunCtx(ctx)
 }
 
 // appKernel pairs an executable kernel with its per-thread register usage.
@@ -40,6 +47,11 @@ type appKernel struct {
 // allocated at a particular register budget) at the given TLP limit.
 func SimulateKernel(app App, arch gpusim.Config, k *ptx.Kernel, regsPerThread, tlpLimit int) (gpusim.Stats, error) {
 	return Simulate(app, arch, &appKernel{k: k, regs: regsPerThread}, tlpLimit)
+}
+
+// SimulateKernelCtx is SimulateKernel under a context.
+func SimulateKernelCtx(ctx context.Context, app App, arch gpusim.Config, k *ptx.Kernel, regsPerThread, tlpLimit int) (gpusim.Stats, error) {
+	return SimulateCtx(ctx, app, arch, &appKernel{k: k, regs: regsPerThread}, tlpLimit)
 }
 
 // ProfileOptTLP determines the optimal TLP by exhaustive profiling
@@ -58,20 +70,33 @@ func ProfileOptTLP(app App, arch gpusim.Config, a *Analysis) (int, []gpusim.Stat
 // winner — and on failure, the reported error (lowest failing TLP) —
 // identical to the serial sweep.
 func ProfileOptTLPN(app App, arch gpusim.Config, a *Analysis, workers int) (int, []gpusim.Stats, error) {
+	return ProfileOptTLPNCtx(context.Background(), app, arch, a, workers)
+}
+
+// ProfileOptTLPNCtx is ProfileOptTLPN under a context: a canceled or
+// timed-out sweep returns the first structured simulator fault (lowest TLP
+// first, matching the serial error order), or the bare context error when
+// cancellation landed between simulations.
+func ProfileOptTLPNCtx(ctx context.Context, app App, arch gpusim.Config, a *Analysis, workers int) (int, []gpusim.Stats, error) {
 	alloc, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: a.DefaultReg})
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: default allocation of %s: %w", app.Name, err)
 	}
 	all := make([]gpusim.Stats, a.MaxTLP)
 	errs := make([]error, a.MaxTLP)
-	pool.Run(workers, a.MaxTLP, func(i int) {
-		all[i], errs[i] = Simulate(app, arch, &appKernel{k: alloc.Kernel, regs: alloc.UsedRegs}, i+1)
+	poolErr := pool.RunCtx(ctx, workers, a.MaxTLP, func(i int) {
+		all[i], errs[i] = SimulateCtx(ctx, app, arch, &appKernel{k: alloc.Kernel, regs: alloc.UsedRegs}, i+1)
 	})
+	for _, e := range errs {
+		if e != nil {
+			return 0, nil, e
+		}
+	}
+	if poolErr != nil {
+		return 0, nil, poolErr
+	}
 	best, bestCycles := 0, int64(0)
 	for i, st := range all {
-		if errs[i] != nil {
-			return 0, nil, errs[i]
-		}
 		if best == 0 || st.Cycles < bestCycles {
 			best, bestCycles = i+1, st.Cycles
 		}

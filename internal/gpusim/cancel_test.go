@@ -1,0 +1,120 @@
+package gpusim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"crat/internal/ptx"
+)
+
+// spinKernel is an infinite loop that keeps issuing forever: without a
+// deadline or cancellation it would spin to MaxCycles.
+func spinKernel() *ptx.Kernel {
+	b := ptx.NewBuilder("spin")
+	b.Param("out", ptx.U64)
+	r := b.Reg(ptx.U32)
+	b.Label("LOOP").Add(ptx.U32, r, ptx.R(r), ptx.Imm(1))
+	b.Bra("LOOP")
+	return b.Kernel()
+}
+
+// TestRunCtxCanceled: a canceled context must abort the cycle loop with a
+// structured FaultCanceled carrying per-warp snapshots, within one
+// cancel stride of the cancellation.
+func TestRunCtxCanceled(t *testing.T) {
+	sim, err := NewSimulator(FermiConfig(), NewMemory(), Launch{
+		Kernel: spinKernel(), Grid: 1, Block: 32, Params: []uint64{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sim.RunCtx(ctx)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultCanceled {
+		t.Fatalf("got %v, want a canceled fault", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("canceled fault does not unwrap to context.Canceled")
+	}
+	if sim.now >= cancelStride {
+		t.Errorf("pre-canceled run still simulated %d cycles", sim.now)
+	}
+	if len(f.Warps) == 0 {
+		t.Error("canceled fault carries no warp states")
+	}
+	if !strings.Contains(f.Error(), "canceled") {
+		t.Errorf("fault message %q does not say canceled", f.Error())
+	}
+}
+
+// TestRunCtxDeadline: an expired wall-clock deadline surfaces as
+// FaultTimeout (not livelock, not Canceled) and stops the run long before
+// MaxCycles.
+func TestRunCtxDeadline(t *testing.T) {
+	sim, err := NewSimulator(FermiConfig(), NewMemory(), Launch{
+		Kernel: spinKernel(), Grid: 1, Block: 32, Params: []uint64{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = sim.RunCtx(ctx)
+	elapsed := time.Since(start)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultTimeout {
+		t.Fatalf("got %v, want a deadline-timeout fault", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("timeout fault does not unwrap to context.DeadlineExceeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("1ms deadline honored only after %v", elapsed)
+	}
+	if len(f.Warps) == 0 {
+		t.Error("timeout fault carries no warp states")
+	}
+}
+
+// TestRunCtxBackgroundMatchesRun: threading a background context must not
+// change the simulation — same cycles, same stats — compared to Run.
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	b := ptx.NewBuilder("addsome")
+	b.Param("out", ptx.U64)
+	r := b.Reg(ptx.U32)
+	for i := 0; i < 8; i++ {
+		b.Add(ptx.U32, r, ptx.R(r), ptx.Imm(1))
+	}
+	b.Exit()
+	k := b.Kernel()
+
+	run := func(ctx context.Context) Stats {
+		sim, err := NewSimulator(FermiConfig(), NewMemory(), Launch{
+			Kernel: k, Grid: 4, Block: 64, Params: []uint64{0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Stats
+		if ctx == nil {
+			st, err = sim.Run()
+		} else {
+			st, err = sim.RunCtx(ctx)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	plain := run(nil)
+	ctxed := run(context.Background())
+	if plain != ctxed {
+		t.Errorf("stats diverge: Run=%+v RunCtx=%+v", plain, ctxed)
+	}
+}

@@ -31,6 +31,13 @@ const (
 	// FaultLivelock: the simulation passed Config.MaxCycles without
 	// retiring the grid (warps still issuing, no forward progress).
 	FaultLivelock
+	// FaultTimeout: the caller's wall-clock deadline (context.Context
+	// deadline) expired before the grid retired. Unlike FaultLivelock this
+	// says nothing about the kernel — the budget ran out.
+	FaultTimeout
+	// FaultCanceled: the caller canceled the run (SIGINT drain, an
+	// abandoned sweep). The partial statistics are still returned.
+	FaultCanceled
 )
 
 func (k FaultKind) String() string {
@@ -47,6 +54,10 @@ func (k FaultKind) String() string {
 		return "watchdog-stall"
 	case FaultLivelock:
 		return "livelock"
+	case FaultTimeout:
+		return "deadline-timeout"
+	case FaultCanceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("fault(%d)", uint8(k))
 }
@@ -134,7 +145,7 @@ func (f *Fault) Error() string {
 			f.Space, f.Addr, f.Size, f.Limit)
 	case FaultNullGlobal:
 		fmt.Fprintf(&sb, ": global access addr=0x%x inside the null page", f.Addr)
-	case FaultExec:
+	case FaultExec, FaultTimeout, FaultCanceled:
 		fmt.Fprintf(&sb, ": %v", f.Err)
 	}
 	if f.Detail != "" {

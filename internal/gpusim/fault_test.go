@@ -216,6 +216,8 @@ func TestFaultKindStrings(t *testing.T) {
 		FaultBarrierDeadlock: "barrier-deadlock",
 		FaultWatchdogStall:   "watchdog-stall",
 		FaultLivelock:        "livelock",
+		FaultTimeout:         "deadline-timeout",
+		FaultCanceled:        "canceled",
 	}
 	for k, s := range want {
 		if k.String() != s {

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"crat/internal/cfg"
 	"crat/internal/ptx"
@@ -35,9 +36,12 @@ type kernelInfoCache struct {
 	m  map[*ptx.Kernel]*kernelInfoEntry
 }
 
+// kernelInfoEntry holds one kernel's analysis. info is an atomic pointer
+// because the staleness check in infoFor reads it while another goroutine
+// may still be inside the entry's once.Do publishing it.
 type kernelInfoEntry struct {
 	once sync.Once
-	info *kernelInfo
+	info atomic.Pointer[kernelInfo]
 }
 
 const kernelCacheMax = 1024
@@ -54,7 +58,7 @@ func infoFor(k *ptx.Kernel) (*kernelInfo, error) {
 	e, ok := kernelCache.m[k]
 	if ok {
 		// Guard against in-place growth (builder reuse): re-analyze.
-		if done := e.info; done != nil && done.nInsts != len(k.Insts) {
+		if done := e.info.Load(); done != nil && done.nInsts != len(k.Insts) {
 			ok = false
 		}
 	}
@@ -67,11 +71,12 @@ func infoFor(k *ptx.Kernel) (*kernelInfo, error) {
 	}
 	kernelCache.mu.Unlock()
 
-	e.once.Do(func() { e.info = buildKernelInfo(k) })
-	if e.info.err != nil {
-		return nil, e.info.err
+	e.once.Do(func() { e.info.Store(buildKernelInfo(k)) })
+	info := e.info.Load()
+	if info.err != nil {
+		return nil, info.err
 	}
-	return e.info, nil
+	return info, nil
 }
 
 // buildKernelInfo runs the once-per-kernel analyses.

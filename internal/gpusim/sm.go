@@ -1,6 +1,8 @@
 package gpusim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -229,10 +231,25 @@ func buildParamBlock(k *ptx.Kernel, vals []uint64) []byte {
 	return out
 }
 
+// cancelStride is how many cycles the simulator runs between context
+// checks: coarse enough that ctx.Err() never shows up in profiles, fine
+// enough (~microseconds of wall time) that cancellation and deadlines feel
+// immediate.
+const cancelStride = 4096
+
 // Run simulates until every block of the grid has completed and returns the
 // collected statistics. Execution failures — exec faults, out-of-bounds
 // accesses, barrier deadlocks, stalls, livelock — surface as a *Fault.
 func (s *Simulator) Run() (Stats, error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context: the cycle loop polls ctx every
+// cancelStride cycles and aborts with a structured FaultTimeout
+// (deadline expired) or FaultCanceled (caller canceled) carrying the usual
+// per-warp snapshots, instead of spinning on to MaxCycles. The statistics
+// accumulated up to the abort are returned alongside the fault.
+func (s *Simulator) RunCtx(ctx context.Context) (Stats, error) {
 	for s.nextBlock < s.launch.Grid && len(s.blocks) < s.maxConc {
 		s.launchBlock()
 	}
@@ -242,6 +259,20 @@ func (s *Simulator) Run() (Stats, error) {
 	for s.stats.BlocksCompleted < int64(s.launch.Grid) {
 		if s.fault != nil {
 			break
+		}
+		if s.now%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				kind := FaultCanceled
+				if errors.Is(err, context.DeadlineExceeded) {
+					kind = FaultTimeout
+				}
+				s.setFault(&Fault{
+					Kind: kind, PC: -1, Warp: -1, Block: -1, Lane: -1,
+					Err:   err,
+					Warps: s.warpStates(),
+				})
+				break
+			}
 		}
 		if s.now >= maxCycles {
 			s.setFault(&Fault{

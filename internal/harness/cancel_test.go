@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"crat/internal/core"
+	"crat/internal/gpusim"
+)
+
+// TestCallMemoizesPlainError: deterministic failures must be cached — the
+// experiments cannot heal by retrying, so every later caller sees the same
+// error without recomputing.
+func TestCallMemoizesPlainError(t *testing.T) {
+	var c call[int]
+	var runs atomic.Int32
+	boom := errors.New("boom")
+	fn := func() (int, error) { runs.Add(1); return 0, boom }
+	if _, err := c.do(context.Background(), fn); !errors.Is(err, boom) {
+		t.Fatalf("first do: %v", err)
+	}
+	if _, err := c.do(context.Background(), fn); !errors.Is(err, boom) {
+		t.Fatalf("second do: %v", err)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1 (plain errors memoize)", n)
+	}
+}
+
+// TestCallRetriesAfterCancellation: a computation that died because its
+// context was canceled must NOT poison the cell — the next caller with a
+// live context recomputes and memoizes the real value.
+func TestCallRetriesAfterCancellation(t *testing.T) {
+	var c call[int]
+	var runs atomic.Int32
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.do(canceled, func() (int, error) {
+		runs.Add(1)
+		return 0, canceled.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled leader: %v", err)
+	}
+	v, err := c.do(context.Background(), func() (int, error) {
+		runs.Add(1)
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("retry after cancellation: %v, %v; want 42", v, err)
+	}
+	if n := runs.Load(); n != 2 {
+		t.Errorf("fn ran %d times, want 2 (cancellation then retry)", n)
+	}
+}
+
+// TestCallWaitersSurviveCanceledLeader: waiters blocked on a leader whose
+// context dies must elect a new leader rather than inheriting the
+// cancellation error. Run with -race: this is the poisoning regression.
+func TestCallWaitersSurviveCanceledLeader(t *testing.T) {
+	var c call[int]
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{}) // leader signals it is inside fn
+	leaderGo := make(chan struct{}) // test releases the leader
+	var leaderErr error
+	var wgLeader sync.WaitGroup
+	wgLeader.Add(1)
+	go func() {
+		defer wgLeader.Done()
+		_, leaderErr = c.do(leaderCtx, func() (int, error) {
+			close(leaderIn)
+			<-leaderGo
+			return 0, leaderCtx.Err()
+		})
+	}()
+	<-leaderIn
+
+	// Pile waiters onto the in-flight cell, then kill the leader.
+	const waiters = 8
+	vals := make([]int, waiters)
+	errs := make([]error, waiters)
+	var reruns atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = c.do(context.Background(), func() (int, error) {
+				reruns.Add(1)
+				return 7, nil
+			})
+		}(i)
+	}
+	cancelLeader()
+	close(leaderGo)
+	wgLeader.Wait()
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Errorf("leader error = %v, want context.Canceled", leaderErr)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil || vals[i] != 7 {
+			t.Errorf("waiter %d: %v, %v; want 7", i, vals[i], errs[i])
+		}
+	}
+	if n := reruns.Load(); n != 1 {
+		t.Errorf("waiters recomputed %d times, want exactly 1 new leader", n)
+	}
+}
+
+// TestSessionAnalysisRetriesAfterCancellation drives the same property
+// through the real Session API: an Analysis aborted by a dead context is
+// retried by the next caller, while a deterministic failure stays memoized.
+func TestSessionAnalysisRetriesAfterCancellation(t *testing.T) {
+	s, err := NewSession(gpusim.FermiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyProfile()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.AnalysisCtx(canceled, p); !isCancellation(err) {
+		t.Fatalf("canceled analysis: err = %v, want cancellation", err)
+	}
+	a, _, err := s.AnalysisCtx(context.Background(), p)
+	if err != nil {
+		t.Fatalf("analysis after canceled attempt: %v", err)
+	}
+	if a.OptTLP < 1 {
+		t.Errorf("OptTLP = %d after retry", a.OptTLP)
+	}
+	// The live-context result is now memoized: a later canceled caller
+	// still gets it (memoized hits never consult the context).
+	canceled2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, _, err := s.AnalysisCtx(canceled2, p); err != nil {
+		t.Errorf("memoized analysis under dead context: %v", err)
+	}
+}
+
+// TestSessionModeMemoizesSimFault: a structured simulator fault (not a
+// cancellation) is deterministic and must memoize — exactly one compute.
+func TestSessionModeMemoizesSimFault(t *testing.T) {
+	s, err := NewSession(gpusim.FermiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tinyProfile()
+	bad.Abbr = "BROKEN"
+	s.apps[bad.Abbr] = &call[core.App]{}
+	s.apps[bad.Abbr].do(context.Background(), func() (core.App, error) { return brokenApp(), nil })
+
+	_, _, err1 := s.Mode(bad, core.ModeMaxTLP)
+	if err1 == nil {
+		t.Fatal("broken app simulated cleanly")
+	}
+	if isCancellation(err1) {
+		t.Fatalf("exec fault misclassified as cancellation: %v", err1)
+	}
+	_, _, err2 := s.Mode(bad, core.ModeMaxTLP)
+	if !errors.Is(err2, err1) && err1.Error() != err2.Error() {
+		t.Errorf("memoized error differs: %v vs %v", err1, err2)
+	}
+	counts := s.computeCounts()
+	if counts["analysis/BROKEN"] != 1 {
+		t.Errorf("broken analysis computed %d times, want 1 (errors memoize)", counts["analysis/BROKEN"])
+	}
+}
+
+// TestSessionTimeoutSurfacesStructuredFault: an expiring deadline must
+// surface as a gpusim deadline fault (errors.Is DeadlineExceeded), and the
+// session must recover once the pressure is lifted.
+func TestSessionTimeoutSurfacesStructuredFault(t *testing.T) {
+	s, err := NewSession(gpusim.FermiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyProfile()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // immediate: the profiling sweep must not start
+	if _, _, err := s.ModeCtx(ctx, p, core.ModeCRAT); !isCancellation(err) {
+		t.Fatalf("mode under dead context: %v", err)
+	}
+	if _, _, err := s.ModeCtx(context.Background(), p, core.ModeCRAT); err != nil {
+		t.Errorf("mode after canceled attempt: %v", err)
+	}
+}

@@ -66,14 +66,19 @@ func (s *Session) faultRow(t *Table, abbr string, err error) {
 // fault rows for failed apps — replay serially in input order, so the
 // rendered table, the aggregate rows built from emit-appended slices, and
 // the fault list are all byte-identical to the serial loop. Panics inside
-// job degrade into ERROR rows exactly like perApp.
+// job degrade into ERROR rows exactly like perApp. The sweep runs under
+// the session's base context: once it is canceled, remaining apps are
+// skipped and recorded as canceled fault rows.
 func (s *Session) forApps(t *Table, apps []workloads.Profile, job func(p workloads.Profile) (func(), error)) {
 	type result struct {
 		emit func()
 		err  error
 	}
+	ctx := s.Context()
 	out := make([]result, len(apps))
-	pool.Run(s.Workers(), len(apps), func(i int) {
+	ran := make([]bool, len(apps))
+	_ = pool.RunCtx(ctx, s.Workers(), len(apps), func(i int) {
+		ran[i] = true
 		var emit func()
 		err := capture(func() error {
 			e, err := job(apps[i])
@@ -83,6 +88,11 @@ func (s *Session) forApps(t *Table, apps []workloads.Profile, job func(p workloa
 		out[i] = result{emit: emit, err: err}
 	})
 	for i, r := range out {
+		if !ran[i] {
+			// Cancellation hit before this app was dispatched.
+			s.faultRow(t, apps[i].Abbr, fmt.Errorf("skipped: %w", ctx.Err()))
+			continue
+		}
 		if r.err != nil {
 			s.faultRow(t, apps[i].Abbr, r.err)
 			continue

@@ -5,6 +5,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -12,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"crat/internal/checkpoint"
 	"crat/internal/core"
 	"crat/internal/gpusim"
 	"crat/internal/pool"
@@ -94,13 +97,19 @@ type Session struct {
 	Costs gpusim.Costs
 
 	mu       sync.Mutex
-	workers  int // 0 = pool.DefaultWorkers()
+	ctx      context.Context // base context; nil = context.Background()
+	workers  int             // 0 = pool.DefaultWorkers()
+	ckpt     *checkpoint.Store
 	apps     map[string]*call[core.App]
 	analyses map[string]*call[analysisResult]
 	modeRes  map[string]*call[modeResult]
+	speedups map[string]*call[float64]
 	// computes counts cache-miss computations by key; the concurrency tests
-	// assert every key was simulated exactly once.
+	// assert every key was simulated exactly once, and the chaos tests that
+	// checkpointed keys are never simulated at all.
 	computes map[string]int
+	// ckptHits counts results served from the checkpoint store by key.
+	ckptHits map[string]int
 
 	// ProfileWall accumulates profiling wall-clock for the overhead report.
 	// Guarded by mu while experiments run; read it only after they finish.
@@ -110,19 +119,69 @@ type Session struct {
 	Faults []FaultRecord
 }
 
-// call is a singleflight cell: the first caller computes the value under the
-// sync.Once, concurrent callers for the same key block on it, and later
-// callers return the memoized result (errors memoize too — the experiments
-// are deterministic, so retrying cannot help).
+// call is a singleflight cell: the first caller (the leader) computes the
+// value, concurrent callers for the same key block on that computation, and
+// later callers return the memoized result. Errors memoize too — the
+// experiments are deterministic, so retrying cannot help — with one
+// exception: a computation that failed because a context was canceled or
+// timed out is NOT memoized. Its waiters re-check the cell and the first
+// with a live context becomes the new leader, so a canceled in-flight
+// computation never poisons the cache for later (resumed) callers.
 type call[T any] struct {
-	once sync.Once
+	mu   sync.Mutex
+	done chan struct{} // non-nil while a computation is in flight
+	has  bool          // a memoized result exists
 	val  T
 	err  error
 }
 
-func (c *call[T]) do(fn func() (T, error)) (T, error) {
-	c.once.Do(func() { c.val, c.err = fn() })
-	return c.val, c.err
+// isCancellation reports whether err (anywhere in its chain, including
+// structured gpusim FaultCanceled/FaultTimeout faults) stems from context
+// cancellation or an expired deadline.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (c *call[T]) do(ctx context.Context, fn func() (T, error)) (T, error) {
+	for {
+		c.mu.Lock()
+		if c.has {
+			v, e := c.val, c.err
+			c.mu.Unlock()
+			return v, e
+		}
+		if c.done == nil {
+			// Leader: compute outside the cell lock so different keys
+			// proceed in parallel.
+			ch := make(chan struct{})
+			c.done = ch
+			c.mu.Unlock()
+			v, e := fn()
+			c.mu.Lock()
+			c.done = nil
+			if !isCancellation(e) {
+				c.has, c.val, c.err = true, v, e
+			}
+			c.mu.Unlock()
+			close(ch)
+			return v, e
+		}
+		ch := c.done
+		c.mu.Unlock()
+		var zero T
+		select {
+		case <-ch:
+			// The leader finished. If our own context died meanwhile, give
+			// up; otherwise loop — either the result is memoized now, or the
+			// leader was canceled and we retry as the new leader.
+			if err := ctx.Err(); err != nil {
+				return zero, err
+			}
+		case <-ctx.Done():
+			// Abandon the wait without disturbing the in-flight computation.
+			return zero, ctx.Err()
+		}
+	}
 }
 
 // getCall returns the cell for key, creating it under the session lock. The
@@ -162,8 +221,125 @@ func NewSession(arch gpusim.Config) (*Session, error) {
 		apps:     make(map[string]*call[core.App]),
 		analyses: make(map[string]*call[analysisResult]),
 		modeRes:  make(map[string]*call[modeResult]),
+		speedups: make(map[string]*call[float64]),
 		computes: make(map[string]int),
+		ckptHits: make(map[string]int),
 	}, nil
+}
+
+// SetContext installs the session's base context: Analysis/Mode/Speedup
+// calls without an explicit context (every figure runner) observe its
+// cancellation and deadline. nil restores context.Background().
+func (s *Session) SetContext(ctx context.Context) {
+	s.mu.Lock()
+	s.ctx = ctx
+	s.mu.Unlock()
+}
+
+// Context returns the session's base context (Background when unset).
+func (s *Session) Context() context.Context {
+	s.mu.Lock()
+	ctx := s.ctx
+	s.mu.Unlock()
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// SetCheckpoint attaches a durable result store: completed analyses, mode
+// evaluations, and speedups are persisted to it, and consulted before
+// simulating. The store must have been opened against this session's
+// configuration hash (see ConfigHash) — the manifest check in
+// checkpoint.Open enforces that.
+func (s *Session) SetCheckpoint(st *checkpoint.Store) {
+	s.mu.Lock()
+	s.ckpt = st
+	s.mu.Unlock()
+}
+
+// Checkpoint returns the attached store (nil when checkpointing is off).
+func (s *Session) Checkpoint() *checkpoint.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckpt
+}
+
+// ConfigHash fingerprints everything the session's cached results depend
+// on: the architecture configuration and the microbenchmarked costs. A
+// checkpoint written under a different hash must not be resumed.
+func (s *Session) ConfigHash() string {
+	h, err := checkpoint.Hash(struct {
+		Arch  gpusim.Config
+		Costs gpusim.Costs
+	}{s.Arch, s.Costs})
+	if err != nil {
+		// gpusim.Config and Costs are plain data; Marshal cannot fail on
+		// them. Degrade to a constant that still namespaces by arch.
+		return "unhashable/" + s.Arch.Name
+	}
+	return h
+}
+
+// noteCkptHit records that key was served from the checkpoint store.
+func (s *Session) noteCkptHit(key string) {
+	s.mu.Lock()
+	s.ckptHits[key]++
+	s.mu.Unlock()
+}
+
+// CheckpointHits snapshots the per-key checkpoint-hit counts.
+func (s *Session) CheckpointHits() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int, len(s.ckptHits))
+	for k, v := range s.ckptHits {
+		out[k] = v
+	}
+	return out
+}
+
+// CheckpointHitCount totals the results served from the checkpoint store.
+func (s *Session) CheckpointHitCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, v := range s.ckptHits {
+		n += v
+	}
+	return n
+}
+
+// ckptGet decodes the entry under key into out, counting a hit.
+func (s *Session) ckptGet(key string, out any) bool {
+	st := s.Checkpoint()
+	if st == nil {
+		return false
+	}
+	ok, err := st.Get(key, out)
+	if err != nil {
+		// A malformed entry is treated as a miss: recomputing is always
+		// safe, and the rewrite will repair the journal.
+		s.recordFault("checkpoint", fmt.Errorf("ignoring entry %q: %w", key, err))
+		return false
+	}
+	if ok {
+		s.noteCkptHit(key)
+	}
+	return ok
+}
+
+// ckptPut persists a completed result. Persistence failures degrade to
+// session faults rather than failing the experiment: the computed result
+// is still correct, the sweep just loses durability for that key.
+func (s *Session) ckptPut(key string, v any) {
+	st := s.Checkpoint()
+	if st == nil {
+		return
+	}
+	if err := st.Put(key, v); err != nil {
+		s.recordFault("checkpoint", fmt.Errorf("persisting %q: %w", key, err))
+	}
 }
 
 // SetWorkers bounds the goroutines the session fans experiments across.
@@ -207,26 +383,56 @@ func (s *Session) computeCounts() map[string]int {
 	return out
 }
 
-// App returns the materialized app for a profile, cached.
+// analysisEntry is the checkpoint payload for one app's analysis: the
+// profiled OptTLP and the per-TLP profiling runs. The Analysis struct
+// itself is recomputed — core.Analyze is deterministic compilation, no
+// simulator cycles — so only the simulated artifacts persist.
+type analysisEntry struct {
+	OptTLP int            `json:"optTLP"`
+	Runs   []gpusim.Stats `json:"runs"`
+}
+
+// modeEntry is the checkpoint payload for one (app, mode) evaluation. The
+// Decision is rebuilt by core.CompileModeCtx (deterministic given OptTLP
+// and Costs); only the simulated stats persist.
+type modeEntry struct {
+	Stats gpusim.Stats `json:"stats"`
+}
+
+// App returns the materialized app for a profile, cached. Building an app
+// is deterministic codegen (no simulation), so it takes no context.
 func (s *Session) App(p workloads.Profile) core.App {
 	c := getCall(s, s.apps, p.Abbr)
-	a, _ := c.do(func() (core.App, error) { return p.App(), nil })
+	a, _ := c.do(context.Background(), func() (core.App, error) { return p.App(), nil })
 	return a
 }
 
 // Analysis returns the app's analysis with OptTLP profiled, plus the per-TLP
-// profiling runs (cached).
+// profiling runs (cached), under the session's base context.
 func (s *Session) Analysis(p workloads.Profile) (*core.Analysis, []gpusim.Stats, error) {
+	return s.AnalysisCtx(s.Context(), p)
+}
+
+// AnalysisCtx is Analysis under an explicit context. A checkpointed result
+// restores the profiled OptTLP and runs without simulating; otherwise the
+// profiling sweep runs (observing ctx) and the result is persisted.
+func (s *Session) AnalysisCtx(ctx context.Context, p workloads.Profile) (*core.Analysis, []gpusim.Stats, error) {
+	key := "analysis/" + p.Abbr
 	c := getCall(s, s.analyses, p.Abbr)
-	r, err := c.do(func() (analysisResult, error) {
-		s.noteCompute("analysis/" + p.Abbr)
+	r, err := c.do(ctx, func() (analysisResult, error) {
 		app := s.App(p)
 		a, err := core.Analyze(app, s.Arch)
 		if err != nil {
 			return analysisResult{}, err
 		}
+		var e analysisEntry
+		if s.ckptGet(key, &e) {
+			a.OptTLP = e.OptTLP
+			return analysisResult{a: a, runs: e.Runs}, nil
+		}
+		s.noteCompute(key)
 		start := time.Now()
-		opt, runs, err := core.ProfileOptTLPN(app, s.Arch, a, s.Workers())
+		opt, runs, err := core.ProfileOptTLPNCtx(ctx, app, s.Arch, a, s.Workers())
 		if err != nil {
 			return analysisResult{}, err
 		}
@@ -235,41 +441,80 @@ func (s *Session) Analysis(p workloads.Profile) (*core.Analysis, []gpusim.Stats,
 		s.ProfileWall += elapsed
 		s.mu.Unlock()
 		a.OptTLP = opt
+		s.ckptPut(key, analysisEntry{OptTLP: opt, Runs: runs})
 		return analysisResult{a: a, runs: runs}, nil
 	})
 	return r.a, r.runs, err
 }
 
-// Mode evaluates one §7.2 comparison mode for the app (cached). The OptTLP
-// comes from the session's profiled analysis, so modes share it.
+// Mode evaluates one §7.2 comparison mode for the app (cached), under the
+// session's base context. The OptTLP comes from the session's profiled
+// analysis, so modes share it.
 func (s *Session) Mode(p workloads.Profile, mode core.Mode) (gpusim.Stats, *core.Decision, error) {
+	return s.ModeCtx(s.Context(), p, mode)
+}
+
+// ModeCtx is Mode under an explicit context. A checkpointed result restores
+// the simulated stats and deterministically recompiles the Decision
+// (core.CompileModeCtx runs zero simulations when OptTLP and Costs are
+// supplied); otherwise the mode is simulated and persisted.
+func (s *Session) ModeCtx(ctx context.Context, p workloads.Profile, mode core.Mode) (gpusim.Stats, *core.Decision, error) {
 	key := p.Abbr + "/" + mode.String()
+	ckey := "mode/" + key
 	c := getCall(s, s.modeRes, key)
-	r, err := c.do(func() (modeResult, error) {
-		s.noteCompute("mode/" + key)
-		a, _, err := s.Analysis(p)
+	r, err := c.do(ctx, func() (modeResult, error) {
+		a, _, err := s.AnalysisCtx(ctx, p)
 		if err != nil {
 			return modeResult{}, err
 		}
 		opts := core.Options{Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, Workers: s.Workers()}
-		st, d, err := core.RunMode(s.App(p), mode, opts)
+		var e modeEntry
+		if s.ckptGet(ckey, &e) {
+			d, err := core.CompileModeCtx(ctx, s.App(p), mode, opts)
+			if err != nil {
+				return modeResult{}, err
+			}
+			return modeResult{stats: e.Stats, decision: d}, nil
+		}
+		s.noteCompute(ckey)
+		st, d, err := core.RunModeCtx(ctx, s.App(p), mode, opts)
 		if err != nil {
 			return modeResult{}, err
 		}
+		s.ckptPut(ckey, modeEntry{Stats: st})
 		return modeResult{stats: st, decision: d}, nil
 	})
 	return r.stats, r.decision, err
 }
 
-// Speedup returns mode-vs-OptTLP speedup for the app.
+// Speedup returns mode-vs-OptTLP speedup for the app, under the session's
+// base context.
 func (s *Session) Speedup(p workloads.Profile, mode core.Mode) (float64, error) {
-	base, _, err := s.Mode(p, core.ModeOptTLP)
-	if err != nil {
-		return 0, err
-	}
-	st, _, err := s.Mode(p, mode)
-	if err != nil {
-		return 0, err
-	}
-	return float64(base.Cycles) / float64(st.Cycles), nil
+	return s.SpeedupCtx(s.Context(), p, mode)
+}
+
+// SpeedupCtx is Speedup under an explicit context, cached and checkpointed
+// like ModeCtx: a persisted ratio short-circuits both mode evaluations.
+func (s *Session) SpeedupCtx(ctx context.Context, p workloads.Profile, mode core.Mode) (float64, error) {
+	key := p.Abbr + "/" + mode.String()
+	ckey := "speedup/" + key
+	c := getCall(s, s.speedups, key)
+	return c.do(ctx, func() (float64, error) {
+		var v float64
+		if s.ckptGet(ckey, &v) {
+			return v, nil
+		}
+		s.noteCompute(ckey)
+		base, _, err := s.ModeCtx(ctx, p, core.ModeOptTLP)
+		if err != nil {
+			return 0, err
+		}
+		st, _, err := s.ModeCtx(ctx, p, mode)
+		if err != nil {
+			return 0, err
+		}
+		v = float64(base.Cycles) / float64(st.Cycles)
+		s.ckptPut(ckey, v)
+		return v, nil
+	})
 }

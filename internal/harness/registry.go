@@ -1,10 +1,13 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 
+	"crat/internal/checkpoint"
 	"crat/internal/gpusim"
 )
 
@@ -61,12 +64,52 @@ func Experiments() []Experiment {
 	}
 }
 
+// RunOptions configures RunExperimentsCtx.
+type RunOptions struct {
+	// Workers bounds each session's simulation fan-out (0 = one per CPU,
+	// 1 = serial); the rendered output is identical at any setting.
+	Workers int
+	// Strict makes the run return an error when any per-app or
+	// per-experiment fault was captured. Without it the run degrades
+	// gracefully: ERROR rows render, the fault summary prints, and the
+	// error return covers only setup problems (unknown IDs, session init).
+	Strict bool
+	// CheckpointDir enables durable result persistence: each architecture
+	// gets a sub-store (dir/fermi, dir/kepler) keyed by that session's
+	// configuration hash. Empty disables checkpointing.
+	CheckpointDir string
+	// Resume loads existing checkpoints from CheckpointDir instead of
+	// starting fresh; a checkpoint written under a different configuration
+	// is rejected (checkpoint.ErrStale).
+	Resume bool
+}
+
+// RunReport summarizes a RunExperimentsCtx invocation for callers that
+// need more than pass/fail (the CLI's survival report, the chaos tests).
+type RunReport struct {
+	Failed    []string // experiment IDs that failed outright
+	Faults    int      // total captured faults across sessions
+	CkptHits  int      // results served from checkpoint stores
+	Persisted int      // entries durable on disk after the run
+	Loaded    int      // entries inherited from a resumed checkpoint
+}
+
 // RunExperiments executes the selected experiment IDs ("all" or empty =
 // everything) and renders results to w. Sessions are shared per
-// architecture so figures reuse each other's simulations. workers bounds
-// each session's simulation fan-out (0 = one per CPU, 1 = serial); the
-// rendered output is identical at any setting.
+// architecture so figures reuse each other's simulations. It is the
+// strict form: any captured fault fails the invocation — a CI caller
+// should not see exit 0 with ERROR rows.
 func RunExperiments(ids []string, workers int, w io.Writer) error {
+	_, err := RunExperimentsCtx(context.Background(), ids, RunOptions{Workers: workers, Strict: true}, w)
+	return err
+}
+
+// RunExperimentsCtx is RunExperiments under a context and RunOptions.
+// Cancellation (or a deadline) stops dispatching work promptly: in-flight
+// simulations notice within a cycle stride, undispatched apps degrade to
+// "skipped" fault rows, and every completed result already persisted to the
+// checkpoint store survives for a later -resume.
+func RunExperimentsCtx(ctx context.Context, ids []string, opts RunOptions, w io.Writer) (*RunReport, error) {
 	wanted := make(map[string]bool)
 	for _, id := range ids {
 		if id == "all" {
@@ -91,7 +134,15 @@ func RunExperiments(ids []string, workers int, w io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
-		s.SetWorkers(workers)
+		s.SetWorkers(opts.Workers)
+		s.SetContext(ctx)
+		if opts.CheckpointDir != "" {
+			st, err := checkpoint.Open(filepath.Join(opts.CheckpointDir, arch), s.ConfigHash(), arch, opts.Resume)
+			if err != nil {
+				return nil, err
+			}
+			s.SetCheckpoint(st)
+		}
 		sessions[arch] = s
 		return s, nil
 	}
@@ -109,7 +160,7 @@ func RunExperiments(ids []string, workers int, w io.Writer) error {
 		}
 		sort.Strings(missing)
 		if len(missing) > 0 {
-			return fmt.Errorf("unknown experiment ids: %v", missing)
+			return nil, fmt.Errorf("unknown experiment ids: %v", missing)
 		}
 	}
 
@@ -120,7 +171,7 @@ func RunExperiments(ids []string, workers int, w io.Writer) error {
 		}
 		s, err := session(e.Arch)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var tables []*Table
 		err = capture(func() error {
@@ -147,23 +198,34 @@ func RunExperiments(ids []string, workers int, w io.Writer) error {
 		archs = append(archs, a)
 	}
 	sort.Strings(archs)
+	rep := &RunReport{}
 	for _, a := range archs {
-		if t := sessions[a].FaultSummary(); t != nil {
+		s := sessions[a]
+		if t := s.FaultSummary(); t != nil {
 			t.Render(w)
 		}
+		rep.Faults += len(s.Faults)
+		rep.CkptHits += s.CheckpointHitCount()
+		if st := s.Checkpoint(); st != nil {
+			// Final durability barrier: after this, every entry counted in
+			// Persisted has survived the fsync'd rename.
+			if err := st.Flush(); err != nil {
+				return nil, fmt.Errorf("harness: flushing checkpoint %s: %w", st.Dir(), err)
+			}
+			rep.Persisted += st.Count()
+			rep.Loaded += st.Loaded()
+		}
+	}
+	sort.Strings(failed)
+	rep.Failed = failed
+	if !opts.Strict {
+		return rep, nil
 	}
 	if len(failed) > 0 {
-		sort.Strings(failed)
-		return fmt.Errorf("harness: %d experiment(s) failed: %v", len(failed), failed)
+		return rep, fmt.Errorf("harness: %d experiment(s) failed: %v", len(failed), failed)
 	}
-	// Per-app degradations keep the run going but must still fail the
-	// invocation: a CI caller should not see exit 0 with ERROR rows.
-	var faults int
-	for _, a := range archs {
-		faults += len(sessions[a].Faults)
+	if rep.Faults > 0 {
+		return rep, fmt.Errorf("harness: completed with %d captured fault(s); see fault summary", rep.Faults)
 	}
-	if faults > 0 {
-		return fmt.Errorf("harness: completed with %d captured fault(s); see fault summary", faults)
-	}
-	return nil
+	return rep, nil
 }

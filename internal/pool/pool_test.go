@@ -1,6 +1,10 @@
 package pool
 
 import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -24,8 +28,15 @@ func TestRunZeroItems(t *testing.T) {
 
 func TestRunPropagatesPanic(t *testing.T) {
 	defer func() {
-		if r := recover(); r != "boom" {
-			t.Errorf("recovered %v, want boom", r)
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", pe)
+		}
+		if pe.Value != "boom" || pe.Job != 3 || pe.NumPanicked != 1 {
+			t.Errorf("recovered %+v, want boom from job 3, 1 panicked", pe)
+		}
+		if !strings.Contains(pe.Error(), "job 3") || !strings.Contains(pe.Error(), "boom") {
+			t.Errorf("message %q lacks job index or value", pe.Error())
 		}
 	}()
 	Run(4, 8, func(i int) {
@@ -33,6 +44,94 @@ func TestRunPropagatesPanic(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+func TestRunCountsAllPanickedWorkers(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", pe)
+		}
+		// Every job panics, so every worker records at least one panic; the
+		// first value survives and the count reflects the full blast radius.
+		if pe.NumPanicked != 20 {
+			t.Errorf("NumPanicked = %d, want 20", pe.NumPanicked)
+		}
+		if !strings.Contains(pe.Error(), "20 workers panicked") {
+			t.Errorf("message %q lacks the panic count", pe.Error())
+		}
+	}()
+	Run(4, 20, func(i int) { panic(i) })
+}
+
+func TestRunPanicUnwrapsErrorValue(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T, want *PanicError", pe)
+		}
+		if !errors.Is(pe, sentinel) {
+			t.Error("PanicError does not unwrap to the panicked error")
+		}
+	}()
+	Run(2, 4, func(i int) {
+		if i == 1 {
+			panic(sentinel)
+		}
+	})
+}
+
+func TestRunSerialPanicStaysRaw(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "raw" {
+			t.Errorf("serial path recovered %v, want the raw value", r)
+		}
+	}()
+	Run(1, 3, func(i int) { panic("raw") })
+}
+
+func TestRunCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := 0
+		err := RunCtx(ctx, workers, 50, func(i int) { ran++ })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		if workers == 1 && ran != 0 {
+			t.Errorf("serial canceled run still ran %d jobs", ran)
+		}
+	}
+}
+
+func TestRunCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	var once sync.Once
+	err := RunCtx(ctx, 2, 10_000, func(i int) {
+		ran.Add(1)
+		once.Do(cancel)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	// The exact count is scheduling-dependent, but cancellation must stop
+	// the dispatch long before the full job list drains.
+	if got := ran.Load(); got > 1000 {
+		t.Errorf("%d jobs ran after cancellation, want an early stop", got)
+	}
+}
+
+func TestRunCtxCompletesCleanly(t *testing.T) {
+	var ran atomic.Int32
+	if err := RunCtx(context.Background(), 4, 64, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 64 {
+		t.Errorf("ran %d jobs, want 64", ran.Load())
+	}
 }
 
 func TestRunPanicDrainsRemainingWork(t *testing.T) {
