@@ -7,8 +7,17 @@ FUZZTIME ?= 10s
 BENCHDATE := $(shell date +%F)
 
 SMOKEDIR := /tmp/crat-checkpoint-smoke
+ORACLEDIR := /tmp/crat-oracle-smoke
+GOLDENDIR := /tmp/crat-golden-diff
 
-.PHONY: all build vet test race race-harness bench-smoke bench-json checkpoint-smoke fuzz-smoke ci
+# Normalization for golden-output comparison: drop the wall-clock footer,
+# mask duration tokens (the overhead table's profiling/static wall columns
+# are real elapsed time and legitimately vary run to run; everything else in
+# the output is deterministic), and squeeze runs of spaces (column padding
+# tracks the width of the masked durations).
+NORM = sed -E -e '/^done in /d' -e 's/[0-9]+(\.[0-9]+)?(µs|ms|m?s)\b/DUR/g' -e 's/ +/ /g' -e 's/ +$$//'
+
+.PHONY: all build vet test race race-harness bench-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke golden-diff golden-regen ci
 
 all: build
 
@@ -56,9 +65,35 @@ checkpoint-smoke:
 	@echo "checkpoint-smoke: resumed output is byte-identical to the clean run"
 
 # Short fuzz runs of the kernel and module parsers (no-panic + print/parse
-# round-trip properties). Seeds come from the workload kernels.
+# round-trip properties). Seeds come from the workload kernels and ptxgen.
 fuzz-smoke:
 	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParseModule -fuzztime=$(FUZZTIME)
 
-ci: vet build race race-harness checkpoint-smoke bench-smoke fuzz-smoke
+# Differential-oracle smoke: the zero-divergence sweep over every seed
+# workload at its full launch grid (the in-tree test run shrinks grids for
+# speed), plus a cratc -verify round trip on a generated kernel.
+oracle-smoke:
+	ORACLE_FULL_GRID=1 $(GO) test ./internal/oracle/ -count=1 -run TestWorkloadsZeroDivergence
+	rm -rf $(ORACLEDIR) && mkdir -p $(ORACLEDIR)
+	$(GO) build -o $(ORACLEDIR)/cratc ./cmd/cratc
+	$(ORACLEDIR)/cratc -in cmd/cratc/testdata/example.ptx -block 64 -grid 2 -verify -out $(ORACLEDIR)/example_out.ptx
+	@echo "oracle-smoke: zero divergences"
+
+# Golden-output regression guard: re-render every experiment table and diff
+# against the committed experiments_output.txt (durations normalized, see
+# NORM). The full sweep is deterministic — any diff is a real behavior
+# change; if it is intentional, refresh the golden with `make golden-regen`.
+golden-diff:
+	rm -rf $(GOLDENDIR) && mkdir -p $(GOLDENDIR)
+	$(GO) run ./cmd/experiments -run all > $(GOLDENDIR)/fresh.txt
+	$(NORM) experiments_output.txt > $(GOLDENDIR)/golden.norm
+	$(NORM) $(GOLDENDIR)/fresh.txt > $(GOLDENDIR)/fresh.norm
+	diff $(GOLDENDIR)/golden.norm $(GOLDENDIR)/fresh.norm
+	@echo "golden-diff: experiment output matches experiments_output.txt"
+
+# Refresh the golden after an intentional output change.
+golden-regen:
+	$(GO) run ./cmd/experiments -run all > experiments_output.txt
+
+ci: vet build race race-harness checkpoint-smoke bench-smoke fuzz-smoke oracle-smoke golden-diff

@@ -15,6 +15,11 @@
 // the TPSC winner; because OptTLP profiling needs input data the tool does
 // not have, OptTLP defaults to the static occupancy bound unless -opttlp
 // is supplied.
+//
+// With -verify the transformed kernel is differentially validated against
+// the input kernel on generated inputs (internal/oracle): PASS or
+// DIVERGENCE is reported per kernel, and a divergence exits non-zero
+// without writing output.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 
 	"crat/internal/core"
 	"crat/internal/gpusim"
+	"crat/internal/oracle"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 	"crat/internal/spillopt"
@@ -35,11 +41,15 @@ func main() {
 	kernelName := flag.String("kernel", "", "kernel to optimize when the module has several (paper: \"we only focus on the most time-consuming kernel\")")
 	archFlag := flag.String("arch", "fermi", "target architecture: fermi or kepler")
 	block := flag.Int("block", 0, "threads per block (required)")
+	grid := flag.Int("grid", 1, "thread blocks per launch (used by -verify executions)")
 	regCap := flag.Int("reg", 0, "allocate at exactly this register budget (skip search)")
 	tlpFlag := flag.Int("tlp", 0, "thread-block TLP limit for spill planning")
 	optTLP := flag.Int("opttlp", 0, "optimal TLP (default: occupancy at the default registers)")
 	noShared := flag.Bool("no-shared-spill", false, "disable the shared-memory spilling optimization")
 	coalesceFlag := flag.Bool("coalesce", false, "run conservative copy coalescing before coloring (useful on SSA-style nvcc PTX)")
+	verify := flag.Bool("verify", false, "differentially validate the transformed kernel against the input on generated inputs; exit non-zero on divergence")
+	verifyRuns := flag.Int("verify-runs", 0, "input sets for -verify (0 = oracle default)")
+	verifySeed := flag.Int64("verify-seed", 0, "base input-generation seed for -verify")
 	verbose := flag.Bool("v", false, "print the analysis and candidate table")
 	flag.Parse()
 
@@ -122,6 +132,18 @@ func main() {
 		}
 		result = d.Chosen.Kernel()
 		chosenReg, chosenTLP = d.Chosen.UsedRegs(), d.Chosen.TLP
+	}
+
+	if *verify {
+		d, err := oracle.Check(kernel, result, "cratc", oracle.Options{
+			Grid: *grid, Block: *block, Runs: *verifyRuns, Seed: *verifySeed,
+		})
+		check(err)
+		if d != nil {
+			fmt.Fprintf(os.Stderr, "cratc: DIVERGENCE %s: %v\n", kernel.Name, d)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cratc: PASS %s (reg=%d tlp=%d)\n", kernel.Name, chosenReg, chosenTLP)
 	}
 
 	// Re-emit the whole module with the optimized kernel swapped in.

@@ -12,7 +12,8 @@
 // Every write goes through a temp file in the same directory, an fsync,
 // and an atomic rename, followed by a directory fsync — a crash or kill at
 // any instant leaves either the old or the new file, never a partial one.
-// Leftover temp files from a killed writer are swept on Open.
+// Leftover temp files from a killed writer are swept when a store is opened
+// fresh (resume opens are read-only and must not disturb a live writer).
 package checkpoint
 
 import (
@@ -71,12 +72,6 @@ func Open(dir, key, label string, resume bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	// Sweep temp files a killed writer may have left behind.
-	if names, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
-		for _, n := range names {
-			os.Remove(n)
-		}
-	}
 	s := &Store{dir: dir, entries: make(map[string]json.RawMessage)}
 
 	manifestPath := filepath.Join(dir, "manifest.json")
@@ -103,7 +98,16 @@ func Open(dir, key, label string, resume bool) (*Store, error) {
 			return s, nil
 		}
 	}
-	// Fresh store: drop any previous journal, then persist the manifest.
+	// Fresh store: the caller asserts ownership of the directory, so sweep
+	// temp files a killed writer left behind, drop any previous journal,
+	// then persist the manifest. Resume opens never sweep — a concurrent
+	// resume (even a stale one) must not delete a live writer's in-flight
+	// temp file out from under its rename.
+	if names, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+		for _, n := range names {
+			os.Remove(n)
+		}
+	}
 	if err := os.Remove(filepath.Join(dir, "journal.json")); err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}

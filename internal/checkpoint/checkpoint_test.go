@@ -109,11 +109,20 @@ func TestLeftoverTempFilesSwept(t *testing.T) {
 	if err := os.WriteFile(junk, []byte("{partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Resume opens are read-only: they must leave the temp file alone (it
+	// could belong to a live writer mid-rename).
 	if _, err := Open(dir, "k", "", true); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := os.Stat(junk); err != nil {
+		t.Errorf("resume open disturbed a temp file: %v", err)
+	}
+	// A fresh open asserts ownership and sweeps it.
+	if _, err := Open(dir, "k", "", false); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := os.Stat(junk); !errors.Is(err, os.ErrNotExist) {
-		t.Error("leftover temp file not swept on Open")
+		t.Error("leftover temp file not swept on fresh open")
 	}
 	// And no temp files linger after normal operation either.
 	s, err := Open(dir, "k", "", true)
@@ -180,5 +189,81 @@ func TestHashStability(t *testing.T) {
 	}
 	if len(h1) != 64 {
 		t.Errorf("hash length %d, want 64 hex chars", len(h1))
+	}
+}
+
+// TestConcurrentResumeStale races live-key resumes, stale-key resumes, and
+// writer Puts against one store directory: every stale resume must be
+// rejected with ErrStale (never a partially loaded store), every live
+// resume must succeed and observe an uncorrupted journal, and after the
+// dust settles exactly one journal — the live session's, with every Put —
+// survives.
+func TestConcurrentResumeStale(t *testing.T) {
+	dir := t.TempDir()
+	live, err := Open(dir, "cfg-a", "fermi", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pre = 8
+	for i := 0; i < pre; i++ {
+		if err := live.Put(fmt.Sprint("pre/", i), payload{Cycles: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const racers = 8
+	staleErrs := make([]error, racers)
+	liveErrs := make([]error, racers)
+	liveCounts := make([]int, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(3)
+		go func(i int) {
+			defer wg.Done()
+			if err := live.Put(fmt.Sprint("more/", i), payload{Cycles: int64(i)}); err != nil {
+				t.Errorf("put more/%d: %v", i, err)
+			}
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			_, staleErrs[i] = Open(dir, "cfg-b", "kepler", true)
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			s, err := Open(dir, "cfg-a", "fermi", true)
+			liveErrs[i] = err
+			if err == nil {
+				liveCounts[i] = s.Count()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range staleErrs {
+		if !errors.Is(err, ErrStale) {
+			t.Errorf("stale resume %d: err = %v, want ErrStale", i, err)
+		}
+	}
+	for i, err := range liveErrs {
+		if err != nil {
+			t.Errorf("live resume %d: %v", i, err)
+			continue
+		}
+		if liveCounts[i] < pre {
+			t.Errorf("live resume %d saw %d entries, want >= %d (the pre-race Puts)", i, liveCounts[i], pre)
+		}
+	}
+
+	// Exactly one journal survives: a final live-key resume sees every Put,
+	// and the stale key still cannot attach to it.
+	r, err := Open(dir, "cfg-a", "fermi", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != pre+racers {
+		t.Errorf("surviving journal has %d entries, want %d", r.Count(), pre+racers)
+	}
+	if _, err := Open(dir, "cfg-b", "kepler", true); !errors.Is(err, ErrStale) {
+		t.Errorf("stale key resumed against the surviving journal: err = %v", err)
 	}
 }

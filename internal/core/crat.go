@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"crat/internal/gpusim"
+	"crat/internal/oracle"
 	"crat/internal/pool"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
@@ -68,6 +69,17 @@ type Options struct {
 	// candidate (ablation: measures how close TPSC gets to the best
 	// achievable point).
 	Oracle bool
+	// VerifyEquivalence runs the differential semantic oracle
+	// (internal/oracle) on the chosen kernel's rewrite chain. On a
+	// divergence the pipeline degrades to the verified baseline (MaxReg,
+	// no shared spilling) allocation instead of failing; the Decision
+	// records the Divergence.
+	VerifyEquivalence bool
+	// VerifyRuns is the number of generated input sets the oracle uses
+	// when the app has no Setup provider (0 = oracle default).
+	VerifyRuns int
+	// VerifySeed is the oracle's base input-generation seed.
+	VerifySeed int64
 	// Costs overrides the microbenchmarked per-access latencies
 	// (zero value = measure on Arch).
 	Costs gpusim.Costs
@@ -125,6 +137,13 @@ type Decision struct {
 	// ProfileRuns counts simulations spent determining OptTLP (the
 	// profiling overhead of paper §7.7); static estimation uses 1.
 	ProfileRuns int
+	// Degraded is set when Options.VerifyEquivalence found the chosen
+	// candidate semantically divergent and the pipeline fell back to the
+	// baseline allocation.
+	Degraded bool
+	// Divergence is the oracle report that triggered the degradation
+	// (nil unless Degraded).
+	Divergence *oracle.Divergence
 }
 
 // Optimize runs the full CRAT pipeline on one app: analysis, OptTLP,
@@ -236,6 +255,11 @@ func OptimizeCtx(ctx context.Context, app App, opts Options) (*Decision, error) 
 			}
 		}
 		d.Chosen = d.Candidates[bestIdx]
+		if opts.VerifyEquivalence {
+			if err := verifyDecision(app, arch, a, d, opts); err != nil {
+				return nil, err
+			}
+		}
 		return d, nil
 	}
 
@@ -254,6 +278,11 @@ func OptimizeCtx(ctx context.Context, app App, opts Options) (*Decision, error) 
 		}
 	}
 	d.Chosen = d.Candidates[best]
+	if opts.VerifyEquivalence {
+		if err := verifyDecision(app, arch, a, d, opts); err != nil {
+			return nil, err
+		}
+	}
 	return d, nil
 }
 
@@ -360,6 +389,16 @@ func planModeCtx(ctx context.Context, app App, mode Mode, opts Options) (*modePl
 		d.Chosen = Candidate{Reg: a.DefaultReg, TLP: tlp, Alloc: alloc, Overhead: alloc.Kernel.SpillOverhead()}
 		if tlp == 0 {
 			d.Chosen.TLP = a.MaxTLP
+		}
+		if opts.VerifyEquivalence {
+			// DefaultReg allocation can spill too; the baseline modes get
+			// the same oracle gate and degraded-mode fallback as CRAT.
+			if err := verifyDecision(app, arch, a, d, opts); err != nil {
+				return nil, err
+			}
+			if d.Degraded {
+				return &modePlan{d: d, kernel: d.Chosen.Kernel(), regs: d.Chosen.UsedRegs(), tlp: tlp}, nil
+			}
 		}
 		return &modePlan{d: d, kernel: alloc.Kernel, regs: alloc.UsedRegs, tlp: tlp}, nil
 	case ModeCRATLocal, ModeCRAT:

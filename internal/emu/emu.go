@@ -1,0 +1,700 @@
+// Package emu is a fast, timing-free functional PTX emulator. It executes a
+// kernel launch warp-by-warp with the same SIMT reconvergence discipline
+// (immediate post-dominator stacks from internal/cfg) and the same
+// instruction semantics (internal/sem) as the cycle-level simulator, but
+// with no caches, scoreboards, or scheduling — only architectural state.
+// The differential oracle (internal/oracle) runs kernel variants through it
+// and compares final global memory, so correctness here is judged purely on
+// execution order and the rewrites under test, never on timing.
+package emu
+
+import (
+	"fmt"
+
+	"crat/internal/cfg"
+	"crat/internal/ptx"
+	"crat/internal/sem"
+)
+
+// Launch describes one functional kernel execution.
+type Launch struct {
+	Kernel *ptx.Kernel
+	// Grid is the number of thread blocks; Block the threads per block.
+	Grid, Block int
+	// Params holds one raw value per kernel parameter (pointers as
+	// addresses in the supplied Memory, scalars as their bit patterns).
+	Params []uint64
+	// WarpSize is the SIMT width (0 = 32). It only affects %laneid/%warpid
+	// and barrier arrival granularity, not results of well-formed kernels.
+	WarpSize int
+	// MaxWarpInsts bounds total executed warp instructions before the
+	// emulator declares a livelock (0 = DefaultMaxWarpInsts). A functional
+	// emulator has no cycle clock, so a step budget is its watchdog.
+	MaxWarpInsts int64
+}
+
+// DefaultMaxWarpInsts is the default livelock budget. Seed workloads run in
+// the tens of thousands of warp instructions; 64M leaves three orders of
+// magnitude of headroom while still terminating a runaway loop quickly.
+const DefaultMaxWarpInsts = 64 << 20
+
+// FaultKind classifies functional-execution failures.
+type FaultKind int
+
+const (
+	// FaultExec is a lane-level evaluation error (unsupported op/type).
+	FaultExec FaultKind = iota
+	// FaultMemOOB is a local/shared access outside the declared segment.
+	FaultMemOOB
+	// FaultNullGlobal is a global access inside the reserved null page.
+	FaultNullGlobal
+	// FaultLivelock means the warp-instruction budget was exhausted.
+	FaultLivelock
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultExec:
+		return "exec"
+	case FaultMemOOB:
+		return "mem-oob"
+	case FaultNullGlobal:
+		return "null-global"
+	case FaultLivelock:
+		return "livelock"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is a structured functional-execution failure with the location of
+// the offending lane.
+type Fault struct {
+	Kind                  FaultKind
+	PC, Block, Warp, Lane int
+	Space                 ptx.Space
+	Addr                  uint64
+	Size                  int
+	Limit                 int64
+	Detail                string
+	Err                   error
+}
+
+func (f *Fault) Error() string {
+	msg := fmt.Sprintf("emu: %v at pc=%d block=%d warp=%d lane=%d", f.Kind, f.PC, f.Block, f.Warp, f.Lane)
+	if f.Kind == FaultMemOOB || f.Kind == FaultNullGlobal {
+		msg += fmt.Sprintf(" %v addr=%#x size=%d limit=%d", f.Space, f.Addr, f.Size, f.Limit)
+	}
+	if f.Detail != "" {
+		msg += ": " + f.Detail
+	}
+	if f.Err != nil {
+		msg += ": " + f.Err.Error()
+	}
+	return msg
+}
+
+func (f *Fault) Unwrap() error { return f.Err }
+
+// Store records the provenance of the last write to a global byte: which
+// instruction, from where, wrote what. The oracle uses it to localize a
+// memory divergence to the instruction that produced it.
+type Store struct {
+	PC, Block, Warp, Lane int
+	Value                 uint64
+	Size                  int
+}
+
+// Result summarizes a completed (or faulted) execution.
+type Result struct {
+	// ThreadInsts counts executed thread instructions (guarded-off lanes
+	// excluded) — a cheap execution fingerprint.
+	ThreadInsts int64
+	// WarpInsts counts executed warp instructions.
+	WarpInsts int64
+	// LastStore maps each written global byte address to the provenance of
+	// its final write.
+	LastStore map[uint64]Store
+}
+
+// analysis is the static per-kernel data the emulator needs: branch targets
+// and reconvergence points.
+type analysis struct {
+	targets []int // per-pc branch target (-1 = not a bra)
+	reconv  []int // per-pc reconvergence pc (-1 = none)
+}
+
+func analyze(k *ptx.Kernel) (*analysis, error) {
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("emu: %w", err)
+	}
+	g, err := cfg.Build(k)
+	if err != nil {
+		return nil, err
+	}
+	reconvMap := g.ReconvergencePoints()
+	labels := make(map[string]int)
+	for i := range k.Insts {
+		if l := k.Insts[i].Label; l != "" {
+			labels[l] = i
+		}
+	}
+	a := &analysis{
+		targets: make([]int, len(k.Insts)),
+		reconv:  make([]int, len(k.Insts)),
+	}
+	for i := range k.Insts {
+		a.targets[i] = -1
+		if k.Insts[i].Op == ptx.OpBra {
+			if t, ok := labels[k.Insts[i].Target]; ok {
+				a.targets[i] = t
+			}
+		}
+		a.reconv[i] = -1
+		if r, ok := reconvMap[i]; ok {
+			a.reconv[i] = r
+		}
+	}
+	return a, nil
+}
+
+// simtEntry mirrors the simulator's divergence stack entries.
+type simtEntry struct {
+	pc   int
+	rpc  int
+	mask uint64
+}
+
+type thread struct {
+	regs  []uint64
+	local []byte
+	tid   int
+}
+
+type warp struct {
+	id      int
+	lanes   []*thread
+	stack   []simtEntry
+	done    bool
+	barrier bool
+}
+
+// machine is the per-launch execution state.
+type machine struct {
+	launch     Launch
+	kernel     *ptx.Kernel
+	an         *analysis
+	mem        *sem.Memory
+	paramBlock []byte
+	warpSize   int
+	budget     int64
+
+	blockID   int
+	shared    []byte
+	warps     []*warp
+	liveWarps int
+	arrived   int
+
+	res   Result
+	fault *Fault
+}
+
+// nullPageBytes matches the simulator's reserved low global region:
+// accesses under it indicate an uninitialized or corrupted pointer.
+const nullPageBytes = 4096
+
+// Run executes the launch to completion against mem. Global-memory effects
+// are applied in place; the returned Result carries execution counters and
+// last-store provenance. Failures surface as a *Fault.
+func Run(l Launch, mem *sem.Memory) (*Result, error) {
+	k := l.Kernel
+	if k == nil {
+		return nil, fmt.Errorf("emu: nil kernel")
+	}
+	an, err := analyze(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(l.Params) != len(k.Params) {
+		return nil, fmt.Errorf("emu: %d param values for %d params", len(l.Params), len(k.Params))
+	}
+	if l.Grid <= 0 || l.Block <= 0 {
+		return nil, fmt.Errorf("emu: grid=%d block=%d must be positive", l.Grid, l.Block)
+	}
+	ws := l.WarpSize
+	if ws <= 0 {
+		ws = 32
+	}
+	if ws > 64 {
+		return nil, fmt.Errorf("emu: warp size %d exceeds 64-lane mask", ws)
+	}
+	budget := l.MaxWarpInsts
+	if budget <= 0 {
+		budget = DefaultMaxWarpInsts
+	}
+	m := &machine{
+		launch:     l,
+		kernel:     k,
+		an:         an,
+		mem:        mem,
+		paramBlock: buildParamBlock(k, l.Params),
+		warpSize:   ws,
+		budget:     budget,
+	}
+	m.res.LastStore = make(map[uint64]Store)
+
+	// Blocks are independent (no inter-block synchronization in the model),
+	// so they run sequentially and deterministically.
+	for b := 0; b < l.Grid; b++ {
+		m.runBlock(b)
+		if m.fault != nil {
+			return &m.res, m.fault
+		}
+	}
+	return &m.res, nil
+}
+
+func buildParamBlock(k *ptx.Kernel, vals []uint64) []byte {
+	size := int64(0)
+	for _, p := range k.Params {
+		off, _ := k.ParamOffset(p.Name)
+		end := off + int64(p.Type.Bytes())
+		if end > size {
+			size = end
+		}
+	}
+	out := make([]byte, size)
+	for i, p := range k.Params {
+		off, _ := k.ParamOffset(p.Name)
+		v := vals[i]
+		for b := 0; b < p.Type.Bytes(); b++ {
+			out[off+int64(b)] = byte(v >> (8 * b))
+		}
+	}
+	return out
+}
+
+// runBlock sets up one thread block and drives its warps round-robin. Each
+// warp runs until it exits or parks at a barrier; the barrier releases once
+// every live warp arrives, matching the simulator's per-warp arrival
+// semantics (a divergent warp still arrives exactly once).
+func (m *machine) runBlock(id int) {
+	m.blockID = id
+	m.shared = make([]byte, m.kernel.SharedBytes())
+	nRegs := m.kernel.NumRegs()
+	localSize := int(m.kernel.LocalBytes())
+	nWarps := (m.launch.Block + m.warpSize - 1) / m.warpSize
+
+	m.warps = m.warps[:0]
+	for wi := 0; wi < nWarps; wi++ {
+		w := &warp{id: wi}
+		var mask uint64
+		for l := 0; l < m.warpSize; l++ {
+			tid := wi*m.warpSize + l
+			if tid >= m.launch.Block {
+				break
+			}
+			th := &thread{regs: make([]uint64, nRegs), tid: tid}
+			if localSize > 0 {
+				th.local = make([]byte, localSize)
+			}
+			w.lanes = append(w.lanes, th)
+			mask |= 1 << uint(l)
+		}
+		w.stack = []simtEntry{{pc: 0, rpc: len(m.kernel.Insts), mask: mask}}
+		m.warps = append(m.warps, w)
+	}
+	m.liveWarps = len(m.warps)
+	m.arrived = 0
+
+	for m.liveWarps > 0 {
+		progressed := false
+		for _, w := range m.warps {
+			if w.done || w.barrier {
+				continue
+			}
+			m.runWarp(w)
+			if m.fault != nil {
+				return
+			}
+			progressed = true
+		}
+		if !progressed {
+			// Every live warp is parked at a barrier that never released:
+			// with per-warp arrival this is unreachable for a verified
+			// kernel, so treat it as a livelock rather than spinning.
+			m.fault = &Fault{
+				Kind: FaultLivelock, PC: -1, Block: id, Warp: -1, Lane: -1,
+				Detail: "all live warps parked at a barrier with no release",
+			}
+			return
+		}
+	}
+}
+
+// runWarp executes w until it exits, parks at a barrier, or faults.
+func (m *machine) runWarp(w *warp) {
+	for !w.done && !w.barrier {
+		if m.res.WarpInsts >= m.budget {
+			m.fault = &Fault{
+				Kind: FaultLivelock, PC: m.pcOf(w), Block: m.blockID, Warp: w.id, Lane: -1,
+				Detail: fmt.Sprintf("exceeded %d warp instructions", m.budget),
+			}
+			return
+		}
+		m.step(w)
+		if m.fault != nil {
+			return
+		}
+	}
+}
+
+func (m *machine) pcOf(w *warp) int {
+	if len(w.stack) == 0 {
+		return -1
+	}
+	return w.stack[len(w.stack)-1].pc
+}
+
+// step executes the warp's next instruction functionally.
+func (m *machine) step(w *warp) {
+	top := &w.stack[len(w.stack)-1]
+	if top.pc >= len(m.kernel.Insts) {
+		m.exitLanes(w, top.mask)
+		return
+	}
+	pc := top.pc
+	in := &m.kernel.Insts[pc]
+
+	// Effective execution mask: active lanes whose guard holds.
+	execMask := uint64(0)
+	for l, th := range w.lanes {
+		if top.mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		if in.Guard != ptx.NoReg {
+			p := th.regs[in.Guard] != 0
+			if p == in.GuardNeg {
+				continue
+			}
+		}
+		execMask |= 1 << uint(l)
+	}
+
+	m.res.WarpInsts++
+	m.res.ThreadInsts += int64(onesCount(execMask))
+
+	switch in.Op {
+	case ptx.OpBra:
+		m.execBranch(w, pc, top.mask, execMask)
+		return
+	case ptx.OpExit, ptx.OpRet:
+		m.exitLanes(w, top.mask)
+		return
+	case ptx.OpBar:
+		top.pc++
+		m.popReconverged(w)
+		w.barrier = true
+		m.arrived++
+		m.releaseBarrier()
+		return
+	case ptx.OpNop:
+		top.pc++
+		m.popReconverged(w)
+		return
+	}
+
+	for l, th := range w.lanes {
+		if execMask&(1<<uint(l)) == 0 {
+			continue
+		}
+		if !m.execLane(w, th, pc, l, in) {
+			return // faulted
+		}
+	}
+
+	top.pc++
+	m.popReconverged(w)
+}
+
+func onesCount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// execBranch implements SIMT divergence with immediate-post-dominator
+// reconvergence, identically to the simulator.
+func (m *machine) execBranch(w *warp, pc int, activeMask, takenMask uint64) {
+	top := &w.stack[len(w.stack)-1]
+	target := m.an.targets[pc]
+	switch takenMask {
+	case activeMask:
+		top.pc = target
+	case 0:
+		top.pc = pc + 1
+	default:
+		rpc := m.an.reconv[pc]
+		if rpc < 0 {
+			rpc = len(m.kernel.Insts)
+		}
+		top.pc = rpc
+		w.stack = append(w.stack,
+			simtEntry{pc: pc + 1, rpc: rpc, mask: activeMask &^ takenMask},
+			simtEntry{pc: target, rpc: rpc, mask: takenMask},
+		)
+	}
+	m.popReconverged(w)
+}
+
+func (m *machine) popReconverged(w *warp) {
+	for len(w.stack) > 1 {
+		top := &w.stack[len(w.stack)-1]
+		if top.pc == top.rpc || top.mask == 0 {
+			w.stack = w.stack[:len(w.stack)-1]
+			continue
+		}
+		return
+	}
+}
+
+func (m *machine) exitLanes(w *warp, mask uint64) {
+	for i := range w.stack {
+		w.stack[i].mask &^= mask
+	}
+	for len(w.stack) > 0 && w.stack[len(w.stack)-1].mask == 0 {
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+	if len(w.stack) == 0 {
+		w.done = true
+		m.liveWarps--
+		m.releaseBarrier()
+		return
+	}
+	m.popReconverged(w)
+}
+
+func (m *machine) releaseBarrier() {
+	if m.liveWarps == 0 || m.arrived < m.liveWarps {
+		return
+	}
+	for _, w := range m.warps {
+		w.barrier = false
+	}
+	m.arrived = 0
+}
+
+// execLane evaluates one instruction for one lane. Returns false when a
+// fault was recorded.
+func (m *machine) execLane(w *warp, th *thread, pc, lane int, in *ptx.Inst) bool {
+	get := func(i int) uint64 {
+		return m.operand(th, in.Srcs[i], m.srcType(in, i))
+	}
+	switch in.Op {
+	case ptx.OpSetp:
+		ok, err := sem.Compare(in.Cmp, in.Type, get(0), get(1))
+		if err != nil {
+			m.fault = &Fault{Kind: FaultExec, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane, Err: err}
+			return false
+		}
+		v := uint64(0)
+		if ok {
+			v = 1
+		}
+		th.regs[in.Dst.Reg] = v
+		return true
+	case ptx.OpSelp:
+		if th.regs[in.Srcs[2].Reg] != 0 {
+			th.regs[in.Dst.Reg] = get(0)
+		} else {
+			th.regs[in.Dst.Reg] = get(1)
+		}
+		return true
+	case ptx.OpCvt:
+		v, err := sem.Convert(in.Type, in.CvtFrom, get(0))
+		if err != nil {
+			m.fault = &Fault{Kind: FaultExec, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane, Err: err}
+			return false
+		}
+		th.regs[in.Dst.Reg] = v
+		return true
+	case ptx.OpLd, ptx.OpSt:
+		return m.execMemory(w, th, pc, lane, in)
+	}
+	var a, b, c uint64
+	if len(in.Srcs) > 0 {
+		a = get(0)
+	}
+	if len(in.Srcs) > 1 {
+		b = get(1)
+	}
+	if len(in.Srcs) > 2 {
+		c = get(2)
+	}
+	v, err := sem.ALU(in.Op, in.Type, a, b, c)
+	if err != nil {
+		m.fault = &Fault{Kind: FaultExec, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane, Err: err}
+		return false
+	}
+	th.regs[in.Dst.Reg] = v
+	return true
+}
+
+// srcType is the type at which source operand i is evaluated (cvt reads its
+// source at CvtFrom, everything else at the instruction type).
+func (m *machine) srcType(in *ptx.Inst, i int) ptx.Type {
+	if in.Op == ptx.OpCvt && i == 0 {
+		return in.CvtFrom
+	}
+	return in.Type
+}
+
+// operand evaluates one source operand for one thread.
+func (m *machine) operand(th *thread, o ptx.Operand, t ptx.Type) uint64 {
+	switch o.Kind {
+	case ptx.OperandReg:
+		return th.regs[o.Reg]
+	case ptx.OperandImm, ptx.OperandFImm:
+		return sem.ImmBits(o, t)
+	case ptx.OperandSpecial:
+		return uint64(m.special(th, o.Spec))
+	case ptx.OperandSym:
+		if a, ok := m.kernel.Array(o.Sym); ok {
+			return m.symValue(o.Sym, a.Space)
+		}
+		return m.symValue(o.Sym, ptx.SpaceParam)
+	}
+	return 0
+}
+
+func (m *machine) special(th *thread, sp ptx.Special) int {
+	switch sp {
+	case ptx.SpecTidX:
+		return th.tid
+	case ptx.SpecNTidX:
+		return m.launch.Block
+	case ptx.SpecCtaIdX:
+		return m.blockID
+	case ptx.SpecNCtaIdX:
+		return m.launch.Grid
+	case ptx.SpecLaneId:
+		return th.tid % m.warpSize
+	case ptx.SpecWarpId:
+		return th.tid / m.warpSize
+	case ptx.SpecTidY, ptx.SpecTidZ, ptx.SpecCtaIdY, ptx.SpecCtaIdZ:
+		return 0
+	case ptx.SpecNTidY, ptx.SpecNTidZ, ptx.SpecNCtaIdY, ptx.SpecNCtaIdZ:
+		return 1
+	}
+	return 0
+}
+
+func (m *machine) resolveAddr(th *thread, mem ptx.Operand, space ptx.Space) uint64 {
+	var base uint64
+	switch {
+	case mem.Reg != ptx.NoReg:
+		base = th.regs[mem.Reg]
+	case mem.Sym != "":
+		base = m.symValue(mem.Sym, space)
+	}
+	return base + uint64(mem.Off)
+}
+
+func (m *machine) symValue(sym string, space ptx.Space) uint64 {
+	if space == ptx.SpaceParam {
+		off, _ := m.kernel.ParamOffset(sym)
+		return uint64(off)
+	}
+	if off, ok := m.kernel.ArrayOffset(sym); ok {
+		return uint64(off)
+	}
+	poff, _ := m.kernel.ParamOffset(sym)
+	return uint64(poff)
+}
+
+func inBounds(addr uint64, size int, limit int64) bool {
+	return uint64(size) <= uint64(limit) && addr <= uint64(limit)-uint64(size)
+}
+
+// execMemory performs one lane's load or store with the same bounds rules as
+// the simulator: null-page faults for global, declared-segment bounds for
+// local and shared, param reads from the param block.
+func (m *machine) execMemory(w *warp, th *thread, pc, lane int, in *ptx.Inst) bool {
+	memOp := in.Dst
+	if in.Op == ptx.OpLd {
+		memOp = in.Srcs[0]
+	}
+	size := in.Type.Bytes()
+
+	if in.Space == ptx.SpaceParam {
+		addr := m.resolveAddr(th, memOp, in.Space)
+		v := uint64(0)
+		for b := 0; b < size; b++ {
+			if int(addr)+b < len(m.paramBlock) {
+				v |= uint64(m.paramBlock[int(addr)+b]) << (8 * b)
+			}
+		}
+		th.regs[in.Dst.Reg] = v
+		return true
+	}
+
+	addr := m.resolveAddr(th, memOp, in.Space)
+	switch in.Space {
+	case ptx.SpaceGlobal:
+		if addr < nullPageBytes {
+			m.fault = &Fault{Kind: FaultNullGlobal, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane,
+				Space: in.Space, Addr: addr, Size: size, Limit: nullPageBytes}
+			return false
+		}
+		if in.Op == ptx.OpLd {
+			th.regs[in.Dst.Reg] = m.mem.Read(addr, size)
+		} else {
+			v := m.operand(th, in.Srcs[0], in.Type)
+			m.mem.Write(addr, v, size)
+			rec := Store{PC: pc, Block: m.blockID, Warp: w.id, Lane: lane, Value: v, Size: size}
+			for b := 0; b < size; b++ {
+				m.res.LastStore[addr+uint64(b)] = rec
+			}
+		}
+	case ptx.SpaceLocal:
+		limit := int64(len(th.local))
+		if !inBounds(addr, size, limit) {
+			m.fault = &Fault{Kind: FaultMemOOB, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane,
+				Space: in.Space, Addr: addr, Size: size, Limit: limit}
+			return false
+		}
+		if in.Op == ptx.OpLd {
+			th.regs[in.Dst.Reg] = readLE(th.local[addr:], size)
+		} else {
+			writeLE(th.local[addr:], m.operand(th, in.Srcs[0], in.Type), size)
+		}
+	case ptx.SpaceShared:
+		limit := m.kernel.SharedBytes()
+		if !inBounds(addr, size, limit) {
+			m.fault = &Fault{Kind: FaultMemOOB, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane,
+				Space: in.Space, Addr: addr, Size: size, Limit: limit}
+			return false
+		}
+		if in.Op == ptx.OpLd {
+			th.regs[in.Dst.Reg] = readLE(m.shared[addr:], size)
+		} else {
+			writeLE(m.shared[addr:], m.operand(th, in.Srcs[0], in.Type), size)
+		}
+	}
+	return true
+}
+
+func readLE(b []byte, n int) uint64 {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func writeLE(b []byte, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,275 @@
+// Package ptxgen generates randomized, well-formed PTX kernels for
+// property-based testing of the CRAT pipeline. Every generated kernel
+// passes ptx.Validate, terminates (loops have immediate trip counts), and
+// keeps memory accesses inside its declared segments and the per-thread
+// slice of its pointer parameters, so the differential oracle can execute
+// it without fault on any seed. Generation is fully determined by the seed.
+//
+// The shapes are chosen to stress what the pipeline rewrites: long chains
+// of simultaneously-live registers (forcing spills under tight budgets),
+// divergent branches, bounded loops, predicated instructions, shared-memory
+// staging across a barrier, and local-memory frames.
+package ptxgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crat/internal/ptx"
+)
+
+// Config controls generation. The zero value is usable: DefaultConfig
+// bounds are substituted for zero fields.
+type Config struct {
+	Seed int64
+	// Block is the thread-block size the kernel is generated for; shared
+	// staging is sized and bounded by it (0 = 64).
+	Block int
+	// MaxOps bounds the random ALU chain length (0 = 24).
+	MaxOps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Block <= 0 {
+		c.Block = 64
+	}
+	if c.MaxOps <= 0 {
+		c.MaxOps = 24
+	}
+	return c
+}
+
+// Generate builds one random kernel. Two calls with equal Configs produce
+// identical kernels.
+func Generate(cfg Config) *ptx.Kernel {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &gen{rng: rng, cfg: cfg, b: ptx.NewBuilder(fmt.Sprintf("gen%d", cfg.Seed))}
+	return g.kernel()
+}
+
+type gen struct {
+	rng  *rand.Rand
+	cfg  Config
+	b    *ptx.Builder
+	vals []ptx.Reg // pool of live u32 values to draw operands from
+	seq  int       // label uniquifier
+}
+
+func (g *gen) label(stem string) string {
+	g.seq++
+	return fmt.Sprintf("%s%d", stem, g.seq)
+}
+
+func (g *gen) pick() ptx.Reg { return g.vals[g.rng.Intn(len(g.vals))] }
+
+// operand returns a random register or immediate source.
+func (g *gen) operand() ptx.Operand {
+	if g.rng.Intn(4) == 0 {
+		return ptx.Imm(int64(g.rng.Intn(255) - 64))
+	}
+	return ptx.R(g.pick())
+}
+
+var intOps = []ptx.Opcode{
+	ptx.OpAdd, ptx.OpSub, ptx.OpMul, ptx.OpDiv, ptx.OpRem,
+	ptx.OpMin, ptx.OpMax, ptx.OpAnd, ptx.OpOr, ptx.OpXor,
+	ptx.OpShl, ptx.OpShr,
+}
+
+// emitALU appends one random integer op defining a fresh register.
+func (g *gen) emitALU() ptx.Reg {
+	d := g.b.Reg(ptx.U32)
+	op := intOps[g.rng.Intn(len(intOps))]
+	if g.rng.Intn(6) == 0 {
+		g.b.Mad(ptx.U32, d, g.operand(), g.operand(), g.operand())
+	} else {
+		g.b.Emit(ptx.Inst{Op: op, Type: ptx.U32, Dst: ptx.R(d),
+			Srcs: []ptx.Operand{g.operand(), g.operand()}, Guard: ptx.NoReg})
+	}
+	g.vals = append(g.vals, d)
+	return d
+}
+
+// emitFloatChain converts a value to f32, applies a few float ops, and
+// folds the result back into the integer pool via a clamped conversion.
+func (g *gen) emitFloatChain() {
+	f := g.b.Reg(ptx.F32)
+	g.b.Cvt(ptx.F32, ptx.U32, f, ptx.R(g.pick()))
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		d := g.b.Reg(ptx.F32)
+		switch g.rng.Intn(5) {
+		case 0:
+			g.b.Add(ptx.F32, d, ptx.R(f), ptx.FImm(1.5))
+		case 1:
+			g.b.Mul(ptx.F32, d, ptx.R(f), ptx.FImm(0.5))
+		case 2:
+			g.b.Sub(ptx.F32, d, ptx.R(f), ptx.FImm(3.25))
+		case 3:
+			g.b.Sfu(ptx.OpSqrt, ptx.F32, d, ptx.R(f)) // inputs are cvt'd u32 ≥ 0
+		default:
+			g.b.Max(ptx.F32, d, ptx.R(f), ptx.FImm(2))
+		}
+		f = d
+	}
+	// Clamp to [0, 1e6] so the float→int conversion is always in range
+	// (both engines share sem.Convert, but staying defined keeps generated
+	// kernels portable fixtures).
+	cl := g.b.Reg(ptx.F32)
+	g.b.Max(ptx.F32, cl, ptx.R(f), ptx.FImm(0))
+	cl2 := g.b.Reg(ptx.F32)
+	g.b.Min(ptx.F32, cl2, ptx.R(cl), ptx.FImm(1e6))
+	d := g.b.Reg(ptx.U32)
+	g.b.Cvt(ptx.U32, ptx.F32, d, ptx.R(cl2))
+	g.vals = append(g.vals, d)
+}
+
+// emitBranch emits a data-dependent diamond: both arms define the same
+// fresh register, exercising divergence and reconvergence.
+func (g *gen) emitBranch() {
+	p := g.b.Reg(ptx.Pred)
+	d := g.b.Reg(ptx.U32)
+	even, join := g.label("even"), g.label("join")
+	bit := g.b.Reg(ptx.U32)
+	g.b.And(ptx.U32, bit, ptx.R(g.pick()), ptx.Imm(1))
+	g.b.Setp(ptx.CmpEq, ptx.U32, p, ptx.R(bit), ptx.Imm(0))
+	g.b.BraIf(p, false, even)
+	g.b.Add(ptx.U32, d, g.operand(), g.operand())
+	g.b.Bra(join)
+	g.b.Label(even).Xor(ptx.U32, d, g.operand(), g.operand())
+	g.b.Label(join).Emit(ptx.Inst{Op: ptx.OpNop, Guard: ptx.NoReg})
+	g.vals = append(g.vals, d)
+}
+
+// emitPredicated emits a setp plus a guarded instruction (no branch).
+func (g *gen) emitPredicated() {
+	p := g.b.Reg(ptx.Pred)
+	d := g.b.Reg(ptx.U32)
+	g.b.Setp(ptx.CmpLt, ptx.U32, p, ptx.R(g.pick()), g.operand())
+	g.b.Mov(ptx.U32, d, g.operand())
+	g.b.If(p, g.rng.Intn(2) == 0).Add(ptx.U32, d, ptx.R(d), g.operand())
+	g.vals = append(g.vals, d)
+	if g.rng.Intn(2) == 0 {
+		s := g.b.Reg(ptx.U32)
+		g.b.Selp(ptx.U32, s, g.operand(), g.operand(), p)
+		g.vals = append(g.vals, s)
+	}
+}
+
+// emitLoop accumulates over a small immediate trip count; always
+// terminates.
+func (g *gen) emitLoop() {
+	trip := 2 + g.rng.Intn(5)
+	acc := g.b.Reg(ptx.U32)
+	c := g.b.Reg(ptx.U32)
+	p := g.b.Reg(ptx.Pred)
+	top := g.label("loop")
+	g.b.Mov(ptx.U32, acc, g.operand())
+	g.b.Mov(ptx.U32, c, ptx.Imm(0))
+	g.b.Label(top).Add(ptx.U32, acc, ptx.R(acc), g.operand())
+	g.b.Add(ptx.U32, c, ptx.R(c), ptx.Imm(1))
+	g.b.Setp(ptx.CmpLt, ptx.U32, p, ptx.R(c), ptx.Imm(int64(trip)))
+	g.b.BraIf(p, false, top)
+	g.vals = append(g.vals, acc)
+}
+
+// emitShared stages a value in shared memory across a barrier and reads a
+// neighbour's slot.
+func (g *gen) emitShared(name string, tid ptx.Reg) {
+	g.b.SharedArray(name, int64(4*g.cfg.Block))
+	off := g.b.Reg(ptx.U32)
+	g.b.Shl(ptx.U32, off, ptx.R(tid), ptx.Imm(2))
+	// A single shared array sits at segment offset 0, so a register byte
+	// offset addresses it directly.
+	g.b.St(ptx.SpaceShared, ptx.U32, ptx.MemReg(off, 0), ptx.R(g.pick()))
+	g.b.Bar()
+	// Read partner slot (block-1-tid), still in bounds.
+	r := g.b.Reg(ptx.U32)
+	roff := g.b.Reg(ptx.U32)
+	g.b.Sub(ptx.U32, r, ptx.Imm(int64(g.cfg.Block-1)), ptx.R(tid))
+	g.b.Shl(ptx.U32, roff, ptx.R(r), ptx.Imm(2))
+	d := g.b.Reg(ptx.U32)
+	g.b.Ld(ptx.SpaceShared, ptx.U32, d, ptx.MemReg(roff, 0))
+	g.vals = append(g.vals, d)
+}
+
+// emitLocal round-trips a value through a per-thread local frame.
+func (g *gen) emitLocal(name string) {
+	const slots = 4
+	g.b.LocalArray(name, 4*slots)
+	off := g.b.Reg(ptx.U64)
+	slot := int64(g.rng.Intn(slots)) * 4
+	g.b.Mov(ptx.U64, off, ptx.Imm(slot))
+	g.b.St(ptx.SpaceLocal, ptx.U32, ptx.MemReg(off, 0), ptx.R(g.pick()))
+	d := g.b.Reg(ptx.U32)
+	g.b.Ld(ptx.SpaceLocal, ptx.U32, d, ptx.MemReg(off, 0))
+	g.vals = append(g.vals, d)
+}
+
+func (g *gen) kernel() *ptx.Kernel {
+	b := g.b
+	b.Param("in", ptx.U64).Param("out", ptx.U64).Param("bias", ptx.U32)
+	idx := b.GlobalIndex()
+	tid := b.Reg(ptx.U32)
+	b.MovSpec(tid, ptx.SpecTidX)
+	pin := b.Reg(ptx.U64)
+	pout := b.Reg(ptx.U64)
+	b.LdParam(ptx.U64, pin, "in")
+	b.LdParam(ptx.U64, pout, "out")
+	bias := b.Reg(ptx.U32)
+	b.LdParam(ptx.U32, bias, "bias")
+	src := b.AddrOf(pin, idx, 4)
+	dst := b.AddrOf(pout, idx, 4)
+	v := b.Reg(ptx.U32)
+	b.Ld(ptx.SpaceGlobal, ptx.U32, v, ptx.MemReg(src, 0))
+	g.vals = append(g.vals, idx, tid, bias, v)
+
+	nOps := 4 + g.rng.Intn(g.cfg.MaxOps)
+	sharedDone, localDone := false, false
+	for i := 0; i < nOps; i++ {
+		switch g.rng.Intn(10) {
+		case 0:
+			g.emitBranch()
+		case 1:
+			g.emitLoop()
+		case 2:
+			g.emitPredicated()
+		case 3:
+			g.emitFloatChain()
+		case 4:
+			if !sharedDone {
+				g.emitShared("stage", tid)
+				sharedDone = true
+			} else {
+				g.emitALU()
+			}
+		case 5:
+			if !localDone {
+				g.emitLocal("frame")
+				localDone = true
+			} else {
+				g.emitALU()
+			}
+		default:
+			g.emitALU()
+		}
+	}
+
+	// Fold a handful of live values into the result so late instructions
+	// keep early registers alive (long live ranges pressure the allocator).
+	res := b.Reg(ptx.U32)
+	b.Mov(ptx.U32, res, ptx.R(g.pick()))
+	for i := 0; i < 3+g.rng.Intn(4); i++ {
+		nxt := b.Reg(ptx.U32)
+		if i%2 == 0 {
+			b.Add(ptx.U32, nxt, ptx.R(res), ptx.R(g.pick()))
+		} else {
+			b.Xor(ptx.U32, nxt, ptx.R(res), ptx.R(g.pick()))
+		}
+		res = nxt
+	}
+	b.St(ptx.SpaceGlobal, ptx.U32, ptx.MemReg(dst, 0), ptx.R(res))
+	b.Exit()
+	return b.Kernel()
+}

@@ -1,10 +1,18 @@
 package gpusim
 
+import "sort"
+
 // cacheLine is one line of a set-associative cache.
 type cacheLine struct {
 	valid bool
 	tag   uint64
 	last  int64 // LRU timestamp
+}
+
+// fill is one completed MSHR entry drained by expire.
+type fill struct {
+	line uint64
+	done int64
 }
 
 // cache is a set-associative LRU cache with an MSHR file for outstanding
@@ -18,9 +26,10 @@ type cache struct {
 	// its size is bounded by cfg.MSHRs (when non-zero). nextDone is the
 	// earliest completion cycle among them (undefined when empty): expire
 	// runs every machine cycle and must be able to bail out without
-	// iterating the map.
+	// iterating the map. expired is expire's reused scratch buffer.
 	inflight map[uint64]int64
 	nextDone int64
+	expired  []fill
 
 	accesses   int64
 	hits       int64
@@ -78,20 +87,34 @@ func (c *cache) freeMSHRs() int {
 
 // expire releases MSHRs whose fills completed at or before now and inserts
 // the lines. The nextDone fast path makes the common no-op call O(1).
+// Completed fills are inserted in (completion cycle, line) order, not map
+// order: two fills landing on the same cycle in the same set tie on the LRU
+// timestamp, so the insertion order decides which one a later eviction
+// keeps — left to map iteration it varies from run to run.
 func (c *cache) expire(now int64) {
 	if len(c.inflight) == 0 || now < c.nextDone {
 		return
 	}
 	next := int64(0)
+	c.expired = c.expired[:0]
 	for line, done := range c.inflight {
 		if done <= now {
-			c.insert(line, now)
-			delete(c.inflight, line)
+			c.expired = append(c.expired, fill{line: line, done: done})
 			continue
 		}
 		if next == 0 || done < next {
 			next = done
 		}
+	}
+	sort.Slice(c.expired, func(i, j int) bool {
+		if c.expired[i].done != c.expired[j].done {
+			return c.expired[i].done < c.expired[j].done
+		}
+		return c.expired[i].line < c.expired[j].line
+	})
+	for _, f := range c.expired {
+		c.insert(f.line, now)
+		delete(c.inflight, f.line)
 	}
 	c.nextDone = next
 }

@@ -1,0 +1,58 @@
+package gpusim_test
+
+import (
+	"testing"
+
+	"crat/internal/emu"
+	"crat/internal/gpusim"
+	"crat/internal/workloads"
+)
+
+// TestEmulatorCrossCheck runs every seed workload kernel through both
+// execution engines — the timing simulator and the functional emulator — on
+// identical memory images and requires byte-identical final global memory.
+// The two engines share sem for arithmetic, so any disagreement means they
+// ordered or rewrote execution differently; this pins the oracle's emulator
+// to the simulator's observable semantics.
+func TestEmulatorCrossCheck(t *testing.T) {
+	arch := gpusim.FermiConfig()
+	for _, p := range workloads.All() {
+		p := p
+		t.Run(p.Abbr, func(t *testing.T) {
+			t.Parallel()
+			// Shrunken grids keep the cross-product affordable; per-block
+			// behaviour (barriers, shared staging, divergence) is unchanged.
+			grid := 2
+			if p.Grid < grid {
+				grid = p.Grid
+			}
+			app := p.AppWithInput(workloads.Input{
+				Name: "crosscheck", GridScale: float64(grid) / float64(p.Grid), DataScale: 1,
+			})
+
+			simMem := gpusim.NewMemory()
+			simParams := app.Setup(simMem)
+			sim, err := gpusim.NewSimulator(arch, simMem, gpusim.Launch{
+				Kernel: app.Kernel, Grid: app.Grid, Block: app.Block, Params: simParams,
+			})
+			if err != nil {
+				t.Fatalf("simulator: %v", err)
+			}
+			if _, err := sim.Run(); err != nil {
+				t.Fatalf("simulator run: %v", err)
+			}
+
+			emuMem := gpusim.NewMemory()
+			emuParams := app.Setup(emuMem)
+			if _, err := emu.Run(emu.Launch{
+				Kernel: app.Kernel, Grid: app.Grid, Block: app.Block, Params: emuParams,
+			}, emuMem); err != nil {
+				t.Fatalf("emulator run: %v", err)
+			}
+
+			if addr, a, b, diff := simMem.DiffFirst(emuMem); diff {
+				t.Fatalf("engines disagree at global[%#x]: sim=%#x emu=%#x", addr, a, b)
+			}
+		})
+	}
+}

@@ -1,322 +1,33 @@
 package gpusim
 
 import (
-	"fmt"
-	"math"
-
 	"crat/internal/ptx"
+	"crat/internal/sem"
 )
 
-// Register values are stored as raw uint64 bit patterns; the instruction
-// type selects the interpretation, matching PTX's untyped register file
-// semantics.
+// The functional semantics (ALU, comparisons, conversions, immediate
+// encoding) live in internal/sem so the cycle-level simulator and the
+// timing-free emulator (internal/emu) evaluate instructions identically.
+// These unexported aliases keep the simulator's call sites and its
+// white-box tests unchanged.
 
-func f32bits(v float32) uint64 { return uint64(math.Float32bits(v)) }
-func bitsF32(b uint64) float32 { return math.Float32frombits(uint32(b)) }
-func f64bits(v float64) uint64 { return math.Float64bits(v) }
-func bitsF64(b uint64) float64 { return math.Float64frombits(b) }
+func f32bits(v float32) uint64 { return sem.F32Bits(v) }
+func bitsF32(b uint64) float32 { return sem.BitsF32(b) }
+func f64bits(v float64) uint64 { return sem.F64Bits(v) }
+func bitsF64(b uint64) float64 { return sem.BitsF64(b) }
 
-// truncate masks v to the width of t.
-func truncate(v uint64, t ptx.Type) uint64 {
-	switch t.Bits() {
-	case 8:
-		return v & 0xff
-	case 16:
-		return v & 0xffff
-	case 32:
-		return v & 0xffffffff
-	default:
-		return v
-	}
-}
+func truncate(v uint64, t ptx.Type) uint64     { return sem.Truncate(v, t) }
+func signExtend(v uint64, t ptx.Type) int64    { return sem.SignExtend(v, t) }
+func immBits(o ptx.Operand, t ptx.Type) uint64 { return sem.ImmBits(o, t) }
 
-// signExtend interprets the low bits of v as a signed integer of t's width.
-func signExtend(v uint64, t ptx.Type) int64 {
-	switch t.Bits() {
-	case 8:
-		return int64(int8(v))
-	case 16:
-		return int64(int16(v))
-	case 32:
-		return int64(int32(v))
-	default:
-		return int64(v)
-	}
-}
-
-// immBits encodes an immediate operand into the raw representation of t.
-func immBits(o ptx.Operand, t ptx.Type) uint64 {
-	if o.Kind == ptx.OperandFImm {
-		if t == ptx.F64 {
-			return f64bits(o.FImm)
-		}
-		return f32bits(float32(o.FImm))
-	}
-	// Integer immediate: also usable by float ops as a converted constant.
-	if t == ptx.F32 {
-		return f32bits(float32(o.Imm))
-	}
-	if t == ptx.F64 {
-		return f64bits(float64(o.Imm))
-	}
-	return truncate(uint64(o.Imm), t)
-}
-
-// alu computes a two- or three-operand arithmetic/logic instruction on raw
-// values a, b, c interpreted at type t. Integer division by zero yields
-// all-ones (matching NVIDIA hardware behaviour rather than trapping).
 func alu(op ptx.Opcode, t ptx.Type, a, b, c uint64) (uint64, error) {
-	if t.IsFloat() {
-		return aluFloat(op, t, a, b, c)
-	}
-	return aluInt(op, t, a, b, c)
+	return sem.ALU(op, t, a, b, c)
 }
 
-func aluInt(op ptx.Opcode, t ptx.Type, a, b, c uint64) (uint64, error) {
-	signed := t.IsSigned()
-	switch op {
-	case ptx.OpAdd:
-		return truncate(a+b, t), nil
-	case ptx.OpSub:
-		return truncate(a-b, t), nil
-	case ptx.OpMul:
-		return truncate(a*b, t), nil
-	case ptx.OpMad:
-		return truncate(a*b+c, t), nil
-	case ptx.OpDiv:
-		if truncate(b, t) == 0 {
-			return truncate(^uint64(0), t), nil
-		}
-		if signed {
-			return truncate(uint64(signExtend(a, t)/signExtend(b, t)), t), nil
-		}
-		return truncate(truncate(a, t)/truncate(b, t), t), nil
-	case ptx.OpRem:
-		if truncate(b, t) == 0 {
-			return truncate(^uint64(0), t), nil
-		}
-		if signed {
-			return truncate(uint64(signExtend(a, t)%signExtend(b, t)), t), nil
-		}
-		return truncate(truncate(a, t)%truncate(b, t), t), nil
-	case ptx.OpMin:
-		if signed {
-			if signExtend(a, t) < signExtend(b, t) {
-				return truncate(a, t), nil
-			}
-			return truncate(b, t), nil
-		}
-		if truncate(a, t) < truncate(b, t) {
-			return truncate(a, t), nil
-		}
-		return truncate(b, t), nil
-	case ptx.OpMax:
-		if signed {
-			if signExtend(a, t) > signExtend(b, t) {
-				return truncate(a, t), nil
-			}
-			return truncate(b, t), nil
-		}
-		if truncate(a, t) > truncate(b, t) {
-			return truncate(a, t), nil
-		}
-		return truncate(b, t), nil
-	case ptx.OpAbs:
-		if signed && signExtend(a, t) < 0 {
-			return truncate(uint64(-signExtend(a, t)), t), nil
-		}
-		return truncate(a, t), nil
-	case ptx.OpNeg:
-		return truncate(uint64(-signExtend(a, t)), t), nil
-	case ptx.OpAnd:
-		return truncate(a&b, t), nil
-	case ptx.OpOr:
-		return truncate(a|b, t), nil
-	case ptx.OpXor:
-		return truncate(a^b, t), nil
-	case ptx.OpNot:
-		return truncate(^a, t), nil
-	case ptx.OpShl:
-		return truncate(a<<(b&63), t), nil
-	case ptx.OpShr:
-		if signed {
-			return truncate(uint64(signExtend(a, t)>>(b&63)), t), nil
-		}
-		return truncate(truncate(a, t)>>(b&63), t), nil
-	case ptx.OpMov:
-		return truncate(a, t), nil
-	}
-	return 0, fmt.Errorf("gpusim: integer op %v unsupported", op)
-}
-
-func aluFloat(op ptx.Opcode, t ptx.Type, a, b, c uint64) (uint64, error) {
-	if t == ptx.F32 {
-		fa, fb, fc := bitsF32(a), bitsF32(b), bitsF32(c)
-		var r float32
-		switch op {
-		case ptx.OpAdd:
-			r = fa + fb
-		case ptx.OpSub:
-			r = fa - fb
-		case ptx.OpMul:
-			r = fa * fb
-		case ptx.OpMad:
-			r = fa*fb + fc
-		case ptx.OpDiv:
-			r = fa / fb
-		case ptx.OpMin:
-			r = float32(math.Min(float64(fa), float64(fb)))
-		case ptx.OpMax:
-			r = float32(math.Max(float64(fa), float64(fb)))
-		case ptx.OpAbs:
-			r = float32(math.Abs(float64(fa)))
-		case ptx.OpNeg:
-			r = -fa
-		case ptx.OpMov:
-			r = fa
-		case ptx.OpRcp:
-			r = 1 / fa
-		case ptx.OpSqrt:
-			r = float32(math.Sqrt(float64(fa)))
-		case ptx.OpRsqrt:
-			r = float32(1 / math.Sqrt(float64(fa)))
-		case ptx.OpSin:
-			r = float32(math.Sin(float64(fa)))
-		case ptx.OpCos:
-			r = float32(math.Cos(float64(fa)))
-		case ptx.OpLg2:
-			r = float32(math.Log2(float64(fa)))
-		case ptx.OpEx2:
-			r = float32(math.Exp2(float64(fa)))
-		default:
-			return 0, fmt.Errorf("gpusim: f32 op %v unsupported", op)
-		}
-		return f32bits(r), nil
-	}
-	fa, fb, fc := bitsF64(a), bitsF64(b), bitsF64(c)
-	var r float64
-	switch op {
-	case ptx.OpAdd:
-		r = fa + fb
-	case ptx.OpSub:
-		r = fa - fb
-	case ptx.OpMul:
-		r = fa * fb
-	case ptx.OpMad:
-		r = fa*fb + fc
-	case ptx.OpDiv:
-		r = fa / fb
-	case ptx.OpMin:
-		r = math.Min(fa, fb)
-	case ptx.OpMax:
-		r = math.Max(fa, fb)
-	case ptx.OpAbs:
-		r = math.Abs(fa)
-	case ptx.OpNeg:
-		r = -fa
-	case ptx.OpMov:
-		r = fa
-	case ptx.OpRcp:
-		r = 1 / fa
-	case ptx.OpSqrt:
-		r = math.Sqrt(fa)
-	case ptx.OpRsqrt:
-		r = 1 / math.Sqrt(fa)
-	case ptx.OpSin:
-		r = math.Sin(fa)
-	case ptx.OpCos:
-		r = math.Cos(fa)
-	case ptx.OpLg2:
-		r = math.Log2(fa)
-	case ptx.OpEx2:
-		r = math.Exp2(fa)
-	default:
-		return 0, fmt.Errorf("gpusim: f64 op %v unsupported", op)
-	}
-	return f64bits(r), nil
-}
-
-// compare evaluates a setp comparison on raw values at type t. Unordered
-// float comparisons (NaN operands) follow IEEE semantics: every ordered
-// predicate is false, Ne is true.
 func compare(cmp ptx.CmpOp, t ptx.Type, a, b uint64) (bool, error) {
-	var lt, eq bool
-	switch {
-	case t.IsFloat():
-		var fa, fb float64
-		if t == ptx.F32 {
-			fa, fb = float64(bitsF32(a)), float64(bitsF32(b))
-		} else {
-			fa, fb = bitsF64(a), bitsF64(b)
-		}
-		if math.IsNaN(fa) || math.IsNaN(fb) {
-			return cmp == ptx.CmpNe, nil
-		}
-		lt, eq = fa < fb, fa == fb
-	case t.IsSigned():
-		sa, sb := signExtend(a, t), signExtend(b, t)
-		lt, eq = sa < sb, sa == sb
-	default:
-		ua, ub := truncate(a, t), truncate(b, t)
-		lt, eq = ua < ub, ua == ub
-	}
-	switch cmp {
-	case ptx.CmpEq:
-		return eq, nil
-	case ptx.CmpNe:
-		return !eq, nil
-	case ptx.CmpLt:
-		return lt, nil
-	case ptx.CmpLe:
-		return lt || eq, nil
-	case ptx.CmpGt:
-		return !lt && !eq, nil
-	case ptx.CmpGe:
-		return !lt, nil
-	}
-	return false, fmt.Errorf("gpusim: comparison %v unsupported", cmp)
+	return sem.Compare(cmp, t, a, b)
 }
 
-// convert implements cvt.to.from on a raw value.
 func convert(to, from ptx.Type, v uint64) (uint64, error) {
-	switch {
-	case from.IsFloat() && to.IsFloat():
-		if from == to {
-			return v, nil
-		}
-		if from == ptx.F32 {
-			return f64bits(float64(bitsF32(v))), nil
-		}
-		return f32bits(float32(bitsF64(v))), nil
-	case from.IsFloat() && !to.IsFloat():
-		var f float64
-		if from == ptx.F32 {
-			f = float64(bitsF32(v))
-		} else {
-			f = bitsF64(v)
-		}
-		if to.IsSigned() {
-			return truncate(uint64(int64(f)), to), nil
-		}
-		if f < 0 {
-			f = 0
-		}
-		return truncate(uint64(f), to), nil
-	case !from.IsFloat() && to.IsFloat():
-		var f float64
-		if from.IsSigned() {
-			f = float64(signExtend(v, from))
-		} else {
-			f = float64(truncate(v, from))
-		}
-		if to == ptx.F32 {
-			return f32bits(float32(f)), nil
-		}
-		return f64bits(f), nil
-	default:
-		if from.IsSigned() {
-			return truncate(uint64(signExtend(v, from)), to), nil
-		}
-		return truncate(truncate(v, from), to), nil
-	}
+	return sem.Convert(to, from, v)
 }

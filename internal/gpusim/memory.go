@@ -1,127 +1,15 @@
 package gpusim
 
-import (
-	"math"
-)
+import "crat/internal/sem"
 
-// pageBits sizes the sparse memory pages (64KB).
-const pageBits = 16
-const pageSize = 1 << pageBits
+// Memory is the sparse global-memory image shared with the functional
+// emulator; it lives in internal/sem so both engines (and the differential
+// oracle) operate on the same representation. The alias keeps gpusim's
+// public API stable.
+type Memory = sem.Memory
 
-// Memory is a sparse byte-addressable global memory. The zero value is not
-// usable; create with NewMemory.
-type Memory struct {
-	pages map[uint64][]byte
-	brk   uint64 // bump-pointer allocator
-}
+const pageSize = sem.PageSize
 
 // NewMemory returns an empty memory. Allocations start at a non-zero base
 // so that address 0 stays invalid (a null pointer).
-func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64][]byte), brk: 0x10000}
-}
-
-// Alloc reserves size bytes and returns the base address (256-byte aligned).
-func (m *Memory) Alloc(size int64) uint64 {
-	const align = 256
-	m.brk = (m.brk + align - 1) / align * align
-	base := m.brk
-	m.brk += uint64(size)
-	return base
-}
-
-func (m *Memory) page(addr uint64) []byte {
-	p, ok := m.pages[addr>>pageBits]
-	if !ok {
-		p = make([]byte, pageSize)
-		m.pages[addr>>pageBits] = p
-	}
-	return p
-}
-
-// ReadBytes copies n bytes at addr into a fresh slice.
-func (m *Memory) ReadBytes(addr uint64, n int) []byte {
-	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		a := addr + uint64(i)
-		out[i] = m.page(a)[a&(pageSize-1)]
-	}
-	return out
-}
-
-// WriteBytes stores b at addr.
-func (m *Memory) WriteBytes(addr uint64, b []byte) {
-	for i, v := range b {
-		a := addr + uint64(i)
-		m.page(a)[a&(pageSize-1)] = v
-	}
-}
-
-// Read reads an unsigned little-endian value of the given byte width. The
-// single-page fast path keeps the simulator's per-access cost allocation-free
-// (ReadBytes would copy through a fresh slice).
-func (m *Memory) Read(addr uint64, bytes int) uint64 {
-	off := addr & (pageSize - 1)
-	if off+uint64(bytes) <= pageSize {
-		p := m.page(addr)
-		var v uint64
-		for i := 0; i < bytes; i++ {
-			v |= uint64(p[off+uint64(i)]) << (8 * i)
-		}
-		return v
-	}
-	var v uint64
-	for i := 0; i < bytes; i++ {
-		a := addr + uint64(i)
-		v |= uint64(m.page(a)[a&(pageSize-1)]) << (8 * i)
-	}
-	return v
-}
-
-// Write stores the low `bytes` bytes of v at addr, little-endian.
-func (m *Memory) Write(addr uint64, v uint64, bytes int) {
-	off := addr & (pageSize - 1)
-	if off+uint64(bytes) <= pageSize {
-		p := m.page(addr)
-		for i := 0; i < bytes; i++ {
-			p[off+uint64(i)] = byte(v >> (8 * i))
-		}
-		return
-	}
-	for i := 0; i < bytes; i++ {
-		a := addr + uint64(i)
-		m.page(a)[a&(pageSize-1)] = byte(v >> (8 * i))
-	}
-}
-
-// WriteUint32 stores a uint32.
-func (m *Memory) WriteUint32(addr uint64, v uint32) { m.Write(addr, uint64(v), 4) }
-
-// ReadUint32 loads a uint32.
-func (m *Memory) ReadUint32(addr uint64) uint32 { return uint32(m.Read(addr, 4)) }
-
-// WriteUint64 stores a uint64.
-func (m *Memory) WriteUint64(addr uint64, v uint64) { m.Write(addr, v, 8) }
-
-// ReadUint64 loads a uint64.
-func (m *Memory) ReadUint64(addr uint64) uint64 { return m.Read(addr, 8) }
-
-// WriteFloat32 stores a float32.
-func (m *Memory) WriteFloat32(addr uint64, v float32) {
-	m.Write(addr, uint64(math.Float32bits(v)), 4)
-}
-
-// ReadFloat32 loads a float32.
-func (m *Memory) ReadFloat32(addr uint64) float32 {
-	return math.Float32frombits(uint32(m.Read(addr, 4)))
-}
-
-// WriteFloat64 stores a float64.
-func (m *Memory) WriteFloat64(addr uint64, v float64) {
-	m.Write(addr, math.Float64bits(v), 8)
-}
-
-// ReadFloat64 loads a float64.
-func (m *Memory) ReadFloat64(addr uint64) float64 {
-	return math.Float64frombits(m.Read(addr, 8))
-}
+func NewMemory() *Memory { return sem.NewMemory() }

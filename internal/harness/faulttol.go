@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"crat/internal/core"
 	"crat/internal/pool"
 	"crat/internal/workloads"
 )
@@ -99,6 +100,30 @@ func (s *Session) forApps(t *Table, apps []workloads.Profile, job func(p workloa
 		}
 		r.emit()
 	}
+}
+
+// noteDegradation records an oracle-triggered degraded-mode compilation in
+// the session's fault summary: the pipeline completed (on the verified
+// baseline allocation), but the divergence it routed around must stay
+// visible in the final report. The mode key ("ABBR/Mode") splits into the
+// summary's experiment and app columns. Decisions that are not degraded —
+// and cached replays, which never reach the compute closure — record
+// nothing.
+func (s *Session) noteDegradation(key string, d *core.Decision) {
+	if d == nil || !d.Degraded {
+		return
+	}
+	app, mode := key, ""
+	if i := strings.IndexByte(key, '/'); i >= 0 {
+		app, mode = key[:i], key[i+1:]
+	}
+	s.mu.Lock()
+	s.Faults = append(s.Faults, FaultRecord{
+		Experiment: "oracle/" + mode,
+		App:        app,
+		Err:        fmt.Errorf("degraded to baseline allocation: %w", d.Divergence),
+	})
+	s.mu.Unlock()
 }
 
 // recordFault notes a whole-experiment failure on the session.

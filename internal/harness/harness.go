@@ -99,6 +99,7 @@ type Session struct {
 	mu       sync.Mutex
 	ctx      context.Context // base context; nil = context.Background()
 	workers  int             // 0 = pool.DefaultWorkers()
+	verify   bool            // run the semantic oracle on every compiled mode
 	ckpt     *checkpoint.Store
 	apps     map[string]*call[core.App]
 	analyses map[string]*call[analysisResult]
@@ -256,6 +257,22 @@ func (s *Session) SetCheckpoint(st *checkpoint.Store) {
 	s.mu.Lock()
 	s.ckpt = st
 	s.mu.Unlock()
+}
+
+// SetVerify enables the differential semantic-equivalence oracle on every
+// mode compilation: a divergent kernel degrades to the verified baseline
+// allocation (core.Options.VerifyEquivalence) and the degradation is
+// recorded in the session's fault summary.
+func (s *Session) SetVerify(on bool) {
+	s.mu.Lock()
+	s.verify = on
+	s.mu.Unlock()
+}
+
+func (s *Session) verifyOn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verify
 }
 
 // Checkpoint returns the attached store (nil when checkpointing is off).
@@ -467,13 +484,15 @@ func (s *Session) ModeCtx(ctx context.Context, p workloads.Profile, mode core.Mo
 		if err != nil {
 			return modeResult{}, err
 		}
-		opts := core.Options{Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, Workers: s.Workers()}
+		opts := core.Options{Arch: s.Arch, OptTLP: a.OptTLP, Costs: s.Costs, Workers: s.Workers(),
+			VerifyEquivalence: s.verifyOn()}
 		var e modeEntry
 		if s.ckptGet(ckey, &e) {
 			d, err := core.CompileModeCtx(ctx, s.App(p), mode, opts)
 			if err != nil {
 				return modeResult{}, err
 			}
+			s.noteDegradation(key, d)
 			return modeResult{stats: e.Stats, decision: d}, nil
 		}
 		s.noteCompute(ckey)
@@ -481,6 +500,7 @@ func (s *Session) ModeCtx(ctx context.Context, p workloads.Profile, mode core.Mo
 		if err != nil {
 			return modeResult{}, err
 		}
+		s.noteDegradation(key, d)
 		s.ckptPut(ckey, modeEntry{Stats: st})
 		return modeResult{stats: st, decision: d}, nil
 	})

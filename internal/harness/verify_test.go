@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"crat/internal/core"
+	"crat/internal/gpusim"
+	"crat/internal/ptx"
+	"crat/internal/regalloc"
+)
+
+// mutateFirstF32Add flips the first f32 add to a sub: a value-only
+// corruption (never an address or loop counter), so simulations of the
+// mutated kernel still run to completion — only the oracle can tell.
+func mutateFirstF32Add(k *ptx.Kernel) {
+	for i := range k.Insts {
+		if k.Insts[i].Op == ptx.OpAdd && k.Insts[i].Type == ptx.F32 {
+			k.Insts[i].Op = ptx.OpSub
+			return
+		}
+	}
+}
+
+// TestSessionVerifyDegradedMode is the end-to-end acceptance scenario: a
+// miscompile injected inside regalloc must be caught by the oracle, the
+// mode evaluation must still complete (on the verified baseline
+// allocation), and the degradation must appear in the session's fault
+// summary table.
+func TestSessionVerifyDegradedMode(t *testing.T) {
+	p := tinyProfile()
+	p.Abbr = "VRFY"
+	// Push MaxReg past the 63-register DefaultReg cap: the MaxTLP mode then
+	// allocates (and spills) at 63 while the baseline fallback allocates at
+	// MaxReg — distinct budgets, so the mutation below corrupts the mode's
+	// kernel and provably spares the fallback.
+	p.Pressure = 80
+
+	clean, err := NewSession(gpusim.FermiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.SetVerify(true)
+	_, d0, err := clean.Mode(p, core.ModeMaxTLP)
+	if err != nil {
+		t.Fatalf("clean MaxTLP mode: %v", err)
+	}
+	if d0.Degraded {
+		t.Fatalf("honest pipeline degraded: %+v", d0.Divergence)
+	}
+	if len(clean.Faults) != 0 {
+		t.Fatalf("honest pipeline recorded faults: %+v", clean.Faults)
+	}
+	chosenReg := d0.Chosen.Reg
+	if chosenReg == d0.Analysis.MaxReg {
+		t.Fatalf("precondition: chosen budget %d equals MaxReg, so the mutation below could not spare the baseline fallback; raise p.Pressure", chosenReg)
+	}
+
+	// Corrupt every physical kernel allocated at the mode's budget. The
+	// baseline fallback (MaxReg) stays honest.
+	regalloc.MutateForTest = func(k *ptx.Kernel, ropts regalloc.Options) {
+		if ropts.Regs == chosenReg {
+			mutateFirstF32Add(k)
+		}
+	}
+	defer func() { regalloc.MutateForTest = nil }()
+
+	s, err := NewSession(gpusim.FermiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetVerify(true)
+	_, d, err := s.Mode(p, core.ModeMaxTLP)
+	if err != nil {
+		t.Fatalf("mode with injected miscompile did not complete: %v", err)
+	}
+	if !d.Degraded || d.Divergence == nil {
+		t.Fatalf("injected miscompile not detected; chosen reg=%d", d.Chosen.Reg)
+	}
+	if d.Chosen.Reg != d.Analysis.MaxReg {
+		t.Fatalf("degraded decision did not fall back to baseline: reg=%d", d.Chosen.Reg)
+	}
+
+	// The degradation must be visible in the fault-summary table.
+	sum := s.FaultSummary()
+	if sum == nil {
+		t.Fatalf("degradation missing from fault summary")
+	}
+	var sb strings.Builder
+	sum.Render(&sb)
+	rendered := sb.String()
+	if !strings.Contains(rendered, "oracle/MaxTLP") || !strings.Contains(rendered, "VRFY") {
+		t.Fatalf("fault summary does not name the degraded mode:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "degraded to baseline") {
+		t.Fatalf("fault summary does not describe the degradation:\n%s", rendered)
+	}
+
+	// A cached replay returns the same degraded decision without
+	// double-recording the fault.
+	_, d2, err := s.Mode(p, core.ModeMaxTLP)
+	if err != nil || !d2.Degraded {
+		t.Fatalf("cached replay lost the degradation: d=%+v err=%v", d2, err)
+	}
+	if n := len(s.Faults); n != 1 {
+		t.Fatalf("degradation recorded %d times, want 1", n)
+	}
+}

@@ -1,0 +1,56 @@
+package ptx_test
+
+import (
+	"testing"
+
+	"crat/internal/ptx"
+)
+
+// TestParserAdversarialInputs pins down parser behavior on inputs collected
+// from fuzzing campaigns (parse → validate → allocate → emulate targets):
+// numeric-overflow shapes, malformed declarations, arity violations, and
+// undeclared-symbol references. None ever crashed the parser — this test
+// keeps it that way by asserting each input either parses cleanly (and then
+// prints and validates without panicking) or is rejected with an ordinary
+// error. The checked-in corpora under testdata/fuzz/ replay the
+// coverage-interesting fuzz inputs on every plain `go test` run.
+func TestParserAdversarialInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"reg-count-overflow", ".visible .entry k()\n{\n  .reg .u32 %r<99999999999999999999>;\n  exit;\n}\n"},
+		{"shared-size-overflow", ".visible .entry k()\n{\n  .shared .align 4 .b8 tile[99999999999999999999];\n  exit;\n}\n"},
+		{"addr-offset-overflow", ".visible .entry k()\n{\n  .shared .align 4 .b8 tile[8];\n  .reg .u32 %r<2>;\n  ld.shared.u32 %r0, [tile+99999999999999999999];\n  exit;\n}\n"},
+		{"imm-overflow", ".visible .entry k()\n{\n  .reg .u32 %r<2>;\n  add.u32 %r1, %r0, 99999999999999999999999;\n  exit;\n}\n"},
+		{"reg-index-overflow", ".visible .entry k(.param .u64 out)\n{\n  .reg .u64 %rd<2>;\n  ld.param.u64 %rd999999999999999999, [out];\n  exit;\n}\n"},
+		{"negative-frame", ".visible .entry k()\n{\n  .local .align 4 .b8 frame[-1];\n  exit;\n}\n"},
+		{"undeclared-pred-guard", ".visible .entry k()\n{\n  .reg .u32 %r<2>;\n  @%p0 bra L;\nL:\n  exit;\n}\n"},
+		{"branch-to-missing-label", ".visible .entry k()\n{\n  bra L;\n  exit;\n}\n"},
+		{"undeclared-src-reg", ".visible .entry k()\n{\n  .reg .pred %p<1>;\n  setp.lt.u32 %p0, %r0, 1;\n  exit;\n}\n"},
+		{"fma-arity", ".visible .entry k()\n{\n  .reg .f32 %f<2>;\n  fma.rn.f32 %f1, %f0, %f0;\n  exit;\n}\n"},
+		{"mad-extra-operand", ".visible .entry k()\n{\n  .reg .u32 %r<2>;\n  mad.lo.u32 %r1, %r0, %r0, %r0, %r0;\n  exit;\n}\n"},
+		{"shift-overflow", ".visible .entry k()\n{\n  .reg .u32 %r<2>;\n  shl.b32 %r1, %r0, 4294967296;\n  exit;\n}\n"},
+		{"duplicate-param", ".visible .entry k(.param .u64 out, .param .u64 out)\n{\n  exit;\n}\n"},
+		{"duplicate-label", ".visible .entry k()\n{\nL:\nL:\n  exit;\n}\n"},
+		{"missing-kernel-name", ".visible .entry \n{\n  exit;\n}\n"},
+		{"unnamed-param", ".visible .entry k(.param .u64)\n{\n  exit;\n}\n"},
+		{"mixed-sign-offset", ".visible .entry k()\n{\n  ld.shared.u32 %r0, [tile+-4];\n  exit;\n}\n"},
+		{"negative-barrier", ".visible .entry k()\n{\n  bar.sync -1;\n  exit;\n}\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic: %v\nsource:\n%s", r, tc.src)
+				}
+			}()
+			k, err := ptx.Parse(tc.src)
+			if err != nil {
+				return // rejection with an error is the expected outcome
+			}
+			_ = ptx.Print(k)
+			_ = k.Validate()
+		})
+	}
+}

@@ -3,12 +3,16 @@ package ptx_test
 import (
 	"testing"
 
+	"crat/internal/emu/ptxgen"
 	"crat/internal/ptx"
 	"crat/internal/workloads"
 )
 
-// seedCorpus returns the printed form of every workload kernel plus a few
-// handwritten sources, so the fuzzers start from realistic PTX.
+// seedCorpus returns the printed form of every workload kernel, a spread of
+// randomized ptxgen kernels (which exercise predication, divergent
+// branches, bounded loops, shared staging, and local frames in shapes the
+// handwritten seeds miss), plus a few handwritten sources, so the fuzzers
+// start from realistic PTX.
 func seedCorpus() []string {
 	seeds := []string{
 		"",
@@ -19,6 +23,9 @@ func seedCorpus() []string {
 	}
 	for _, p := range workloads.All() {
 		seeds = append(seeds, ptx.Print(p.App().Kernel))
+	}
+	for seed := int64(0); seed < 16; seed++ {
+		seeds = append(seeds, ptx.Print(ptxgen.Generate(ptxgen.Config{Seed: seed})))
 	}
 	return seeds
 }

@@ -141,6 +141,13 @@ type allocState struct {
 // Allocate colors the kernel's virtual registers into at most opts.Regs
 // 32-bit slots per thread, spilling to a local-memory SpillStack when the
 // limit is exceeded (paper §5.1). The input kernel is not modified.
+// MutateForTest, when non-nil, is invoked on every allocation's final
+// physical kernel just before Allocate returns it. It exists solely so
+// tests can inject a structurally-valid miscompile downstream of the
+// allocator's own verifier and prove the semantic oracle catches it and
+// degrades gracefully. Always nil outside tests.
+var MutateForTest func(k *ptx.Kernel, opts Options)
+
 func Allocate(k *ptx.Kernel, opts Options) (*Result, error) {
 	if opts.Regs <= 0 {
 		return nil, fmt.Errorf("regalloc: non-positive register budget %d", opts.Regs)
@@ -185,6 +192,9 @@ func Allocate(k *ptx.Kernel, opts Options) (*Result, error) {
 			}
 			if err := ptx.Verify(st.res.Kernel, "regalloc"); err != nil {
 				return nil, err
+			}
+			if MutateForTest != nil {
+				MutateForTest(st.res.Kernel, opts)
 			}
 			return st.res, nil
 		}
