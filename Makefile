@@ -17,7 +17,7 @@ GOLDENDIR := /tmp/crat-golden-diff
 # tracks the width of the masked durations).
 NORM = sed -E -e '/^done in /d' -e 's/[0-9]+(\.[0-9]+)?(µs|ms|m?s)\b/DUR/g' -e 's/ +/ /g' -e 's/ +$$//'
 
-.PHONY: all build vet test race race-harness bench-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke golden-diff golden-regen ci
+.PHONY: all build vet test race race-harness bench-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke golden-diff golden-regen ci
 
 all: build
 
@@ -80,6 +80,12 @@ oracle-smoke:
 	$(ORACLEDIR)/cratc -in cmd/cratc/testdata/example.ptx -block 64 -grid 2 -verify -out $(ORACLEDIR)/example_out.ptx
 	@echo "oracle-smoke: zero divergences"
 
+# Pass-pipeline smoke: the full CRAT pipeline with the PTX verifier enabled
+# after every pass on all seed workloads (CRAT and CRAT-local). A pass that
+# emits malformed IR fails with the offending pass named.
+pass-smoke:
+	$(GO) test -count=1 -run TestPassSmoke .
+
 # Golden-output regression guard: re-render every experiment table and diff
 # against the committed experiments_output.txt (durations normalized, see
 # NORM). The full sweep is deterministic — any diff is a real behavior
@@ -96,4 +102,4 @@ golden-diff:
 golden-regen:
 	$(GO) run ./cmd/experiments -run all > experiments_output.txt
 
-ci: vet build race race-harness checkpoint-smoke bench-smoke fuzz-smoke oracle-smoke golden-diff
+ci: vet build race race-harness checkpoint-smoke bench-smoke fuzz-smoke oracle-smoke pass-smoke golden-diff

@@ -21,6 +21,7 @@ import (
 	"crat/internal/core"
 	"crat/internal/gpusim"
 	"crat/internal/harness"
+	"crat/internal/passes"
 	"crat/internal/workloads"
 )
 
@@ -361,6 +362,37 @@ func BenchmarkCheckpointResume(b *testing.B) {
 	}
 	b.ReportMetric(float64(hits), "checkpoint-hits")
 	b.ReportMetric(float64(persisted), "checkpoint-persisted")
+}
+
+// BenchmarkPassTimings runs the full CRAT pipeline (pinned OptTLP and
+// costs, so no simulations) on a representative workload and reports each
+// pipeline pass's wall time and run count per optimization. The pass-*
+// metrics land in BENCH_*.json's "passes" section via cmd/benchjson,
+// tracking where compile time goes across PRs.
+func BenchmarkPassTimings(b *testing.B) {
+	arch := gpusim.FermiConfig()
+	p, ok := workloads.ByAbbr("STM")
+	if !ok {
+		b.Fatal("STM workload missing")
+	}
+	app := p.App()
+	opts := core.Options{
+		Arch:        arch,
+		OptTLP:      4,
+		Costs:       gpusim.Costs{Local: 40, Shared: 4},
+		SpillShared: true,
+	}
+	passes.ResetTimings()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(app, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, tm := range passes.Timings() {
+		b.ReportMetric(float64(tm.Wall.Microseconds())/float64(b.N), "pass-"+tm.Pass+"-us")
+		b.ReportMetric(float64(tm.Runs)/float64(b.N), "pass-"+tm.Pass+"-runs")
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed (warp

@@ -46,6 +46,11 @@ type Report struct {
 	// the paper's headline metrics: they track the resume machinery, not
 	// simulated results.
 	Checkpoint map[string]float64 `json:"checkpoint,omitempty"`
+	// Passes collects the compile-time instrumentation ("pass-*" units
+	// from BenchmarkPassTimings): per-pipeline-pass wall time and run
+	// counts. Like Checkpoint, they describe the compiler itself rather
+	// than simulated results, so they stay out of Headline.
+	Passes map[string]float64 `json:"passes,omitempty"`
 }
 
 // parseLine parses a `go test -bench` result line, e.g.
@@ -118,6 +123,13 @@ func run(out string) error {
 					rep.Checkpoint = map[string]float64{}
 				}
 				rep.Checkpoint[unit] = v
+				continue
+			}
+			if strings.HasPrefix(unit, "pass-") {
+				if rep.Passes == nil {
+					rep.Passes = map[string]float64{}
+				}
+				rep.Passes[unit] = v
 				continue
 			}
 			if headlineUnit(unit) {

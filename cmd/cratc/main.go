@@ -30,6 +30,7 @@ import (
 	"crat/internal/core"
 	"crat/internal/gpusim"
 	"crat/internal/oracle"
+	"crat/internal/passes"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 	"crat/internal/spillopt"
@@ -51,7 +52,17 @@ func main() {
 	verifyRuns := flag.Int("verify-runs", 0, "input sets for -verify (0 = oracle default)")
 	verifySeed := flag.Int64("verify-seed", 0, "base input-generation seed for -verify")
 	verbose := flag.Bool("v", false, "print the analysis and candidate table")
+	listPasses := flag.Bool("passes", false, "list the pipeline passes in execution order and exit")
+	verifyPasses := flag.Bool("verify-passes", false, "run the PTX verifier on the working kernel after every pipeline pass (fail fast naming the pass)")
+	dumpAfter := flag.String("dump-after", "", "print the working kernel to stderr after every execution of the named pass")
 	flag.Parse()
+
+	if *listPasses {
+		for _, p := range core.PipelinePasses() {
+			fmt.Printf("%-13s %s\n", p.Name, p.Desc)
+		}
+		return
+	}
 
 	if *in == "" || *block <= 0 {
 		fmt.Fprintln(os.Stderr, "cratc: -in and -block are required")
@@ -88,13 +99,24 @@ func main() {
 		arch = gpusim.KeplerConfig()
 	}
 
+	var dump func(pass string, k *ptx.Kernel)
+	if *dumpAfter != "" {
+		dump = func(pass string, k *ptx.Kernel) {
+			if pass == *dumpAfter {
+				fmt.Fprintf(os.Stderr, "// after pass %s\n%s", pass, ptx.Print(k))
+			}
+		}
+	}
+
 	var result *ptx.Kernel
 	var chosenReg, chosenTLP int
 
 	if *regCap > 0 {
-		// Fixed-budget mode.
+		// Fixed-budget mode: the allocation and spilling stages still run as
+		// passes, under a locally-built manager.
+		pm := &passes.Manager{VerifyEach: *verifyPasses, DumpAfter: dump}
 		allocOpts := regalloc.Options{Regs: *regCap, Coalesce: *coalesceFlag}
-		alloc, err := regalloc.Allocate(kernel, allocOpts)
+		alloc, err := regalloc.AllocateWith(pm, kernel, allocOpts)
 		check(err)
 		tlp := *tlpFlag
 		if tlp == 0 {
@@ -102,7 +124,7 @@ func main() {
 		}
 		result = alloc.Kernel
 		if !*noShared && len(alloc.Spills) > 0 && tlp > 0 {
-			res, err := spillopt.Optimize(alloc, allocOpts, spillopt.Options{
+			res, err := spillopt.OptimizeWith(pm, alloc, allocOpts, spillopt.Options{
 				SpareShmBytes: core.SpareShm(arch, kernel.SharedBytes(), tlp),
 				BlockSize:     *block,
 			})
@@ -120,6 +142,7 @@ func main() {
 		}
 		d, err := core.Optimize(app, core.Options{
 			Arch: arch, OptTLP: opt, SpillShared: !*noShared, Coalesce: *coalesceFlag,
+			VerifyEachPass: *verifyPasses, DumpAfter: dump,
 		})
 		check(err)
 		if *verbose {

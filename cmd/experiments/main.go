@@ -46,6 +46,8 @@ func main() {
 		"load results already persisted in -checkpoint instead of starting fresh")
 	strict := flag.Bool("strict", false,
 		"exit 1 if any fault was captured (default: degrade to ERROR rows and exit 0)")
+	passTimes := flag.Bool("pass-times", false,
+		"after the run, print the per-pass wall-time and IR-delta table (opt-in: kept out of the golden output)")
 	flag.Parse()
 
 	if *list || *runFlag == "" {
@@ -89,6 +91,9 @@ func main() {
 		Resume:        *resume,
 	}
 	rep, err := harness.RunExperimentsCtx(ctx, ids, opts, os.Stdout)
+	if *passTimes {
+		harness.PassTimingTable().Render(os.Stdout)
+	}
 	if rep != nil && *ckptDir != "" {
 		fmt.Printf("checkpoint: %d result(s) persisted in %s (%d inherited via -resume, %d served from checkpoint)\n",
 			rep.Persisted, *ckptDir, rep.Loaded, rep.CkptHits)

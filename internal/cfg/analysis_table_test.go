@@ -1,0 +1,390 @@
+package cfg
+
+import (
+	"testing"
+
+	"crat/internal/ptx"
+)
+
+// analysisFixture is one kernel shape shared by the table-driven liveness
+// and dominator tests: the kernel plus stable names for the registers and
+// instruction indices the expectations refer to (raw indices would rot as
+// soon as a case gains an instruction).
+type analysisFixture struct {
+	k    *ptx.Kernel
+	regs map[string]ptx.Reg
+	at   map[string]int
+}
+
+// mark remembers the index of the next instruction to be emitted.
+func (f *analysisFixture) mark(b *ptx.Builder, name string) {
+	f.at[name] = len(b.Kernel().Insts)
+}
+
+// countedLoop is the canonical single-loop kernel:
+//
+//	acc = 0; n = param; i = 0
+//	LOOP: p = i >= n ; @p bra DONE
+//	  dead = i * 2        // defined, never used
+//	  acc = acc + i       // loop-carried accumulator
+//	  i = i + 1 ; bra LOOP
+//	DONE: out = acc * 3 ; exit
+func countedLoop() analysisFixture {
+	f := analysisFixture{regs: map[string]ptx.Reg{}, at: map[string]int{}}
+	b := ptx.NewBuilder("counted_loop")
+	b.Param("n", ptx.U32)
+	acc, n, i := b.Reg(ptx.U32), b.Reg(ptx.U32), b.Reg(ptx.U32)
+	dead, out := b.Reg(ptx.U32), b.Reg(ptx.U32)
+	p := b.Reg(ptx.Pred)
+	f.regs["acc"], f.regs["i"], f.regs["dead"], f.regs["out"] = acc, i, dead, out
+	b.Mov(ptx.U32, acc, ptx.Imm(0))
+	b.LdParam(ptx.U32, n, "n")
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	f.mark(b, "header")
+	b.Label("LOOP").Setp(ptx.CmpGe, ptx.U32, p, ptx.R(i), ptx.R(n))
+	b.BraIf(p, false, "DONE")
+	f.mark(b, "deadDef")
+	b.Mul(ptx.U32, dead, ptx.R(i), ptx.Imm(2))
+	f.mark(b, "accAdd")
+	b.Add(ptx.U32, acc, ptx.R(acc), ptx.R(i))
+	f.mark(b, "incr")
+	b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	f.mark(b, "backEdge")
+	b.Bra("LOOP")
+	f.mark(b, "done")
+	b.Label("DONE").Mul(ptx.U32, out, ptx.R(acc), ptx.Imm(3))
+	b.Exit()
+	f.k = b.Kernel()
+	return f
+}
+
+// multiExitLoop extends the loop with a second, data-dependent exit out of
+// the loop body, so the function has two exit blocks and the loop two
+// distinct exit edges:
+//
+//	acc = 0; n = param; i = 0
+//	LOOP: p = i >= n ; @p bra EARLY
+//	  acc = acc + i
+//	  q = acc >= 100 ; @q bra DONE     // second exit, from mid-body
+//	  i = i + 1 ; bra LOOP
+//	EARLY: r1 = acc * 2 ; exit
+//	DONE:  r2 = acc * 3 ; exit
+func multiExitLoop() analysisFixture {
+	f := analysisFixture{regs: map[string]ptx.Reg{}, at: map[string]int{}}
+	b := ptx.NewBuilder("multi_exit_loop")
+	b.Param("n", ptx.U32)
+	acc, n, i := b.Reg(ptx.U32), b.Reg(ptx.U32), b.Reg(ptx.U32)
+	r1, r2 := b.Reg(ptx.U32), b.Reg(ptx.U32)
+	p, q := b.Reg(ptx.Pred), b.Reg(ptx.Pred)
+	f.regs["acc"], f.regs["i"], f.regs["r1"], f.regs["r2"] = acc, i, r1, r2
+	b.Mov(ptx.U32, acc, ptx.Imm(0))
+	b.LdParam(ptx.U32, n, "n")
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	f.mark(b, "header")
+	b.Label("LOOP").Setp(ptx.CmpGe, ptx.U32, p, ptx.R(i), ptx.R(n))
+	b.BraIf(p, false, "EARLY")
+	f.mark(b, "accAdd")
+	b.Add(ptx.U32, acc, ptx.R(acc), ptx.R(i))
+	b.Setp(ptx.CmpGe, ptx.U32, q, ptx.R(acc), ptx.Imm(100))
+	f.mark(b, "midExit")
+	b.BraIf(q, false, "DONE")
+	f.mark(b, "incr")
+	b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	b.Bra("LOOP")
+	f.mark(b, "early")
+	b.Label("EARLY").Mul(ptx.U32, r1, ptx.R(acc), ptx.Imm(2))
+	b.Exit()
+	f.mark(b, "done")
+	b.Label("DONE").Mul(ptx.U32, r2, ptx.R(acc), ptx.Imm(3))
+	b.Exit()
+	f.k = b.Kernel()
+	return f
+}
+
+// unreachableLoop is multiExitLoop with a block of dead code wedged between
+// the two exits; nothing branches to it, but it branches to DONE, so DONE
+// has an unreachable predecessor (the case the dominator and liveness
+// fixpoints must ignore rather than propagate from):
+//
+//	EARLY: r1 = acc * 2 ; exit
+//	       ghost = undef + 1 ; bra DONE    // unreachable
+//	DONE:  r2 = acc * 3 ; exit
+func unreachableLoop() analysisFixture {
+	f := analysisFixture{regs: map[string]ptx.Reg{}, at: map[string]int{}}
+	b := ptx.NewBuilder("unreachable_loop")
+	b.Param("n", ptx.U32)
+	acc, n, i := b.Reg(ptx.U32), b.Reg(ptx.U32), b.Reg(ptx.U32)
+	r1, r2 := b.Reg(ptx.U32), b.Reg(ptx.U32)
+	ghost, undef := b.Reg(ptx.U32), b.Reg(ptx.U32)
+	p, q := b.Reg(ptx.Pred), b.Reg(ptx.Pred)
+	f.regs["acc"], f.regs["i"], f.regs["r1"], f.regs["r2"] = acc, i, r1, r2
+	f.regs["ghost"], f.regs["undef"] = ghost, undef
+	b.Mov(ptx.U32, acc, ptx.Imm(0))
+	b.LdParam(ptx.U32, n, "n")
+	b.Mov(ptx.U32, i, ptx.Imm(0))
+	f.mark(b, "header")
+	b.Label("LOOP").Setp(ptx.CmpGe, ptx.U32, p, ptx.R(i), ptx.R(n))
+	b.BraIf(p, false, "EARLY")
+	f.mark(b, "accAdd")
+	b.Add(ptx.U32, acc, ptx.R(acc), ptx.R(i))
+	b.Setp(ptx.CmpGe, ptx.U32, q, ptx.R(acc), ptx.Imm(100))
+	f.mark(b, "midExit")
+	b.BraIf(q, false, "DONE")
+	b.Add(ptx.U32, i, ptx.R(i), ptx.Imm(1))
+	b.Bra("LOOP")
+	f.mark(b, "early")
+	b.Label("EARLY").Mul(ptx.U32, r1, ptx.R(acc), ptx.Imm(2))
+	b.Exit()
+	f.mark(b, "ghost")
+	b.Add(ptx.U32, ghost, ptx.R(undef), ptx.Imm(1))
+	b.Bra("DONE")
+	f.mark(b, "done")
+	b.Label("DONE").Mul(ptx.U32, r2, ptx.R(acc), ptx.Imm(3))
+	b.Exit()
+	f.k = b.Kernel()
+	return f
+}
+
+func TestLivenessTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() analysisFixture
+		// liveOut[reg] lists instruction marks where the register must be
+		// live immediately after the instruction; deadOut where it must not.
+		liveOut map[string][]string
+		deadOut map[string][]string
+		// blockIn[reg] lists marks whose enclosing block must have the
+		// register live on entry (loop-carried values appear at the header).
+		blockIn map[string][]string
+		// entryDead lists registers that must not be live at kernel entry.
+		entryDead []string
+		// span[reg] is the [start, end] the linear live range must cover.
+		span map[string][2]string
+	}{
+		{
+			name:  "loop-carried accumulator",
+			build: countedLoop,
+			liveOut: map[string][]string{
+				"acc": {"accAdd", "incr", "backEdge"}, // across the back edge
+				"i":   {"header", "accAdd"},
+			},
+			deadOut: map[string][]string{
+				"dead": {"deadDef"}, // defined, never used
+				"acc":  {"done"},    // last use consumed it
+			},
+			blockIn: map[string][]string{
+				"acc": {"header", "done"},
+				"i":   {"header"},
+			},
+			entryDead: []string{"acc", "i", "dead", "out"},
+			span:      map[string][2]string{"acc": {"header", "done"}},
+		},
+		{
+			name:  "multi-exit loop",
+			build: multiExitLoop,
+			liveOut: map[string][]string{
+				// acc flows into both exit blocks, so it stays live at the
+				// mid-body exit branch and across the back edge.
+				"acc": {"accAdd", "midExit", "incr"},
+			},
+			deadOut: map[string][]string{
+				"r1": {"early"}, // each exit's result dies at its exit
+				"r2": {"done"},
+				// i is not needed on the early-exit path once the header
+				// comparison consumed it; it must not leak into EARLY.
+				"i": {"early"},
+			},
+			blockIn: map[string][]string{
+				"acc": {"header", "early", "done"},
+				"i":   {"header", "incr"},
+			},
+			entryDead: []string{"acc", "i", "r1", "r2"},
+			span:      map[string][2]string{"acc": {"header", "done"}},
+		},
+		{
+			name:  "unreachable predecessor of an exit block",
+			build: unreachableLoop,
+			liveOut: map[string][]string{
+				"acc": {"accAdd", "midExit"},
+			},
+			deadOut: map[string][]string{
+				"ghost": {"ghost"},
+			},
+			blockIn: map[string][]string{
+				"acc": {"header", "done"},
+				// The dead block reads acc and undef: both are live into
+				// that block, but only along the unreachable edge.
+				"undef": {"ghost"},
+			},
+			// No reachable path uses undef, so it must not propagate to
+			// the entry (an unreachable block has no predecessors to feed).
+			entryDead: []string{"undef", "ghost", "acc", "i"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tc.build()
+			g, err := Build(f.k)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			lv := ComputeLiveness(g)
+			reg := func(name string) ptx.Reg {
+				r, ok := f.regs[name]
+				if !ok {
+					t.Fatalf("fixture has no register %q", name)
+				}
+				return r
+			}
+			inst := func(mark string) int {
+				i, ok := f.at[mark]
+				if !ok {
+					t.Fatalf("fixture has no mark %q", mark)
+				}
+				return i
+			}
+			for name, marks := range tc.liveOut {
+				for _, m := range marks {
+					if !lv.InstOut[inst(m)].Has(reg(name)) {
+						t.Errorf("%s not live-out at %s", name, m)
+					}
+				}
+			}
+			for name, marks := range tc.deadOut {
+				for _, m := range marks {
+					if lv.InstOut[inst(m)].Has(reg(name)) {
+						t.Errorf("%s live-out at %s, want dead", name, m)
+					}
+				}
+			}
+			for name, marks := range tc.blockIn {
+				for _, m := range marks {
+					bi := g.BlockOf(inst(m))
+					if !lv.BlockIn[bi].Has(reg(name)) {
+						t.Errorf("%s not live into block of %s", name, m)
+					}
+				}
+			}
+			entry := lv.BlockIn[g.BlockOf(0)]
+			for _, name := range tc.entryDead {
+				if entry.Has(reg(name)) {
+					t.Errorf("%s live at kernel entry", name)
+				}
+			}
+			if len(tc.span) > 0 {
+				ranges := lv.LiveRanges()
+				for name, want := range tc.span {
+					r := reg(name)
+					var got *LiveRange
+					for i := range ranges {
+						if ranges[i].Reg == r {
+							got = &ranges[i]
+							break
+						}
+					}
+					if got == nil || got.Start < 0 {
+						t.Fatalf("no live range for %s", name)
+					}
+					if got.Start > inst(want[0]) || got.End < inst(want[1]) {
+						t.Errorf("%s range [%d,%d] does not cover [%s,%s]=[%d,%d]",
+							name, got.Start, got.End, want[0], want[1], inst(want[0]), inst(want[1]))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDominatorsTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() analysisFixture
+		// idom maps an instruction mark to the mark whose block must be its
+		// block's immediate dominator.
+		idom map[string]string
+		// unreachable lists marks whose blocks must keep idom == -1.
+		unreachable []string
+		// exitIdom, when set, names the block that must immediately
+		// dominate the virtual exit (the join of all exit blocks).
+		exitIdom string
+	}{
+		{
+			name:  "single loop",
+			build: countedLoop,
+			idom: map[string]string{
+				"header":  "", // entry block, named below as mark 0's block
+				"deadDef": "header",
+				"done":    "header",
+			},
+			exitIdom: "done",
+		},
+		{
+			name:  "multi-exit loop",
+			build: multiExitLoop,
+			idom: map[string]string{
+				"accAdd": "header",
+				"incr":   "accAdd",
+				"early":  "header",
+				"done":   "accAdd",
+			},
+			// Two exit blocks: their only common dominator on every path
+			// to the virtual exit is the loop header.
+			exitIdom: "header",
+		},
+		{
+			name:  "unreachable predecessor",
+			build: unreachableLoop,
+			idom: map[string]string{
+				"early": "header",
+				// DONE's predecessors are the mid-body exit and the dead
+				// block; the unreachable edge must be ignored, leaving the
+				// reachable predecessor as the immediate dominator.
+				"done": "accAdd",
+			},
+			unreachable: []string{"ghost"},
+			exitIdom:    "header",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tc.build()
+			g, err := Build(f.k)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			idom := g.Dominators()
+			blockOf := func(mark string) int {
+				i, ok := f.at[mark]
+				if !ok {
+					t.Fatalf("fixture has no mark %q", mark)
+				}
+				return g.BlockOf(i)
+			}
+			entry := g.BlockOf(0)
+			if idom[entry] != entry {
+				t.Errorf("entry idom = %d, want itself (%d)", idom[entry], entry)
+			}
+			for mark, dom := range tc.idom {
+				want := entry
+				if dom != "" {
+					want = blockOf(dom)
+				}
+				if got := idom[blockOf(mark)]; got != want {
+					t.Errorf("idom(block of %s) = %d, want block of %q (%d)", mark, got, dom, want)
+				}
+			}
+			for _, mark := range tc.unreachable {
+				if got := idom[blockOf(mark)]; got != -1 {
+					t.Errorf("unreachable block of %s has idom %d, want -1", mark, got)
+				}
+			}
+			if tc.exitIdom != "" {
+				if got, want := idom[g.ExitIndex], blockOf(tc.exitIdom); got != want {
+					t.Errorf("virtual exit idom = %d, want block of %q (%d)", got, tc.exitIdom, want)
+				}
+			}
+		})
+	}
+}

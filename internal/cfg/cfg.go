@@ -205,7 +205,7 @@ func (g *Graph) PostDominators() []int {
 // outside any loop have depth 0.
 func (g *Graph) LoopDepth() []int {
 	n := len(g.Blocks)
-	idom := g.dominators()
+	idom := g.Dominators()
 	dominates := func(a, b int) bool {
 		// Does a dominate b? Walk the dominator tree from b.
 		for b != -1 {
@@ -254,8 +254,9 @@ func (g *Graph) LoopDepth() []int {
 	return depth
 }
 
-// dominators computes immediate dominators (entry block 0 is the root).
-func (g *Graph) dominators() []int {
+// Dominators computes immediate dominators (entry block 0 is the root).
+// idom[0] == 0; blocks unreachable from the entry keep idom == -1.
+func (g *Graph) Dominators() []int {
 	n := len(g.Blocks)
 	order := make([]int, 0, n)
 	seen := make([]bool, n)

@@ -6,7 +6,7 @@ import (
 
 	"crat/internal/gpusim"
 	"crat/internal/oracle"
-	"crat/internal/pool"
+	"crat/internal/passes"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 	"crat/internal/spillopt"
@@ -80,6 +80,17 @@ type Options struct {
 	VerifyRuns int
 	// VerifySeed is the oracle's base input-generation seed.
 	VerifySeed int64
+	// VerifyEachPass runs ptx.Verify on the working kernel after every
+	// pipeline pass, failing fast with the offending pass named (the
+	// pass-smoke gate; cratc -verify-passes).
+	VerifyEachPass bool
+	// OracleEachPass spot-checks every IR-changing pass against the
+	// differential oracle (pass input vs pass output). Expensive; a
+	// debugging aid for bisecting a miscompile to one pass.
+	OracleEachPass bool
+	// DumpAfter, when set, receives the working kernel after every pass
+	// (cratc -dump-after filters by pass name inside the hook).
+	DumpAfter func(pass string, k *ptx.Kernel)
 	// Costs overrides the microbenchmarked per-access latencies
 	// (zero value = measure on Arch).
 	Costs gpusim.Costs
@@ -202,82 +213,43 @@ func OptimizeCtx(ctx context.Context, app App, opts Options) (*Decision, error) 
 		d.Costs = c
 	}
 
-	// Design space pruning (§4.2): rightmost point per stair, TLP capped
-	// at OptTLP, dominated points removed (same reg at lower TLP can never
-	// win: identical code, less parallelism).
-	stairs := a.Staircase(arch)
-	seenReg := make(map[int]bool)
-	for _, tlp := range sortedTLPs(stairs) {
-		if !opts.DisablePruning && tlp > a.OptTLP {
-			continue
-		}
-		reg := stairs[tlp]
-		if seenReg[reg] {
-			continue
-		}
-		seenReg[reg] = true
-		cand, err := buildCandidate(app, arch, a, reg, tlp, opts)
+	// The remaining stages run as an instrumented pass pipeline over one
+	// manager: prune, then per-candidate allocation and spilling (via
+	// AllocateWith/OptimizeWith inside buildCandidate), then selection.
+	pm := opts.passManager(app)
+	am := passes.NewAnalysisManager(app.Kernel)
+
+	pr := &prunePass{a: a, arch: arch, opts: opts}
+	if err := pm.Run(am, pr); err != nil {
+		return nil, err
+	}
+	for _, pt := range pr.points {
+		cand, err := buildCandidate(pm, app, arch, a, pt.Reg, pt.TLP, opts)
 		if err != nil {
+			if isPipelineFault(err) {
+				// A pass emitted unverifiable IR or diverged from the
+				// oracle: a compiler bug, not an infeasible budget.
+				return nil, err
+			}
 			// Infeasible register budgets are simply not candidates.
 			continue
 		}
-		cand.TPSC = TPSC(tlp, a.BlockSize, arch.MaxThreadsPerSM, cand.Overhead, d.Costs)
+		cand.TPSC = TPSC(pt.TLP, a.BlockSize, arch.MaxThreadsPerSM, cand.Overhead, d.Costs)
 		d.Candidates = append(d.Candidates, *cand)
 	}
 	if len(d.Candidates) == 0 {
 		return nil, fmt.Errorf("core: %s: no feasible design points", app.Name)
 	}
 
+	var sel passes.Pass
 	if opts.Oracle {
-		// Ablation: simulate every candidate and take the fastest. The
-		// candidates are independent kernels, so the sweep fans out like the
-		// profiling one; the reduction stays in candidate order so the
-		// winner (and first error) matches the serial loop.
-		stats := make([]gpusim.Stats, len(d.Candidates))
-		errs := make([]error, len(d.Candidates))
-		poolErr := pool.RunCtx(ctx, opts.profileWorkers(), len(d.Candidates), func(i int) {
-			c := &d.Candidates[i]
-			stats[i], errs[i] = SimulateCtx(ctx, app, arch, &appKernel{k: c.Kernel(), regs: c.UsedRegs()}, c.TLP)
-		})
-		for _, e := range errs {
-			if e != nil {
-				return nil, e
-			}
-		}
-		if poolErr != nil {
-			return nil, poolErr
-		}
-		bestIdx, bestCycles := -1, int64(0)
-		for i := range d.Candidates {
-			d.Candidates[i].Cycles = stats[i].Cycles
-			if bestIdx == -1 || stats[i].Cycles < bestCycles {
-				bestIdx, bestCycles = i, stats[i].Cycles
-			}
-		}
-		d.Chosen = d.Candidates[bestIdx]
-		if opts.VerifyEquivalence {
-			if err := verifyDecision(app, arch, a, d, opts); err != nil {
-				return nil, err
-			}
-		}
-		return d, nil
+		sel = &oracleSelectPass{ctx: ctx, app: app, arch: arch, opts: opts, d: d}
+	} else {
+		sel = &tpscSelectPass{d: d}
 	}
-
-	// TPSC selection: smallest metric wins; ties (e.g. several spill-free
-	// points with cost 0) break toward the higher TLP, then more registers.
-	best := 0
-	for i := 1; i < len(d.Candidates); i++ {
-		c, b := &d.Candidates[i], &d.Candidates[best]
-		switch {
-		case c.TPSC < b.TPSC:
-			best = i
-		case c.TPSC == b.TPSC && c.TLP > b.TLP:
-			best = i
-		case c.TPSC == b.TPSC && c.TLP == b.TLP && c.Reg > b.Reg:
-			best = i
-		}
+	if err := pm.Run(am, sel); err != nil {
+		return nil, err
 	}
-	d.Chosen = d.Candidates[best]
 	if opts.VerifyEquivalence {
 		if err := verifyDecision(app, arch, a, d, opts); err != nil {
 			return nil, err
@@ -287,14 +259,16 @@ func OptimizeCtx(ctx context.Context, app App, opts Options) (*Decision, error) 
 }
 
 // buildCandidate allocates registers for one design point and applies the
-// spilling optimization when enabled.
-func buildCandidate(app App, arch gpusim.Config, a *Analysis, reg, tlp int, opts Options) (*Candidate, error) {
+// spilling optimization when enabled. Both stages run under pm, so their
+// passes share the Optimize-level instrumentation (verify-after-every-pass,
+// dumps, oracle spot-checks, timing).
+func buildCandidate(pm *passes.Manager, app App, arch gpusim.Config, a *Analysis, reg, tlp int, opts Options) (*Candidate, error) {
 	allocOpts := regalloc.Options{
 		Regs:                reg,
 		Coalesce:            opts.Coalesce,
 		UnweightedSpillCost: opts.UnweightedSpillCost,
 	}
-	alloc, err := regalloc.Allocate(app.Kernel, allocOpts)
+	alloc, err := regalloc.AllocateWith(pm, app.Kernel, allocOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +277,7 @@ func buildCandidate(app App, arch gpusim.Config, a *Analysis, reg, tlp int, opts
 		return c, nil
 	}
 	spare := SpareShm(arch, a.ShmSize, tlp)
-	res, err := spillopt.Optimize(alloc, allocOpts, spillopt.Options{
+	res, err := spillopt.OptimizeWith(pm, alloc, allocOpts, spillopt.Options{
 		SpareShmBytes:  spare,
 		BlockSize:      a.BlockSize,
 		Split:          opts.Split,
@@ -361,7 +335,9 @@ func planModeCtx(ctx context.Context, app App, mode Mode, opts Options) (*modePl
 		if err != nil {
 			return nil, err
 		}
-		alloc, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: a.DefaultReg})
+		// The baseline modes get the same instrumented pass manager as the
+		// CRAT modes, so -verify-passes and per-pass timing cover them too.
+		alloc, err := regalloc.AllocateWith(opts.passManager(app), app.Kernel, regalloc.Options{Regs: a.DefaultReg})
 		if err != nil {
 			return nil, err
 		}

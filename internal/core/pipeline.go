@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"crat/internal/gpusim"
+	"crat/internal/oracle"
+	"crat/internal/passes"
+	"crat/internal/pool"
+	"crat/internal/ptx"
+)
+
+// PassInfo names one pipeline pass for tooling (cratc -passes).
+type PassInfo struct {
+	Name string
+	Desc string
+}
+
+// PipelinePasses lists the CRAT pipeline's passes in execution order. The
+// allocation passes (coalesce through phys-rewrite) run once per candidate
+// design point; shm-knapsack re-enters them after the shared-memory rewrite.
+func PipelinePasses() []PassInfo {
+	return []PassInfo{
+		{"prune", "design-space pruning: rightmost point per occupancy stair, TLP capped at OptTLP (paper §4.2)"},
+		{"coalesce", "conservative copy coalescing before the first coloring (Options.Coalesce; per candidate)"},
+		{"color", "Chaitin-Briggs coloring (or linear scan) over the cached CFG and liveness (per candidate)"},
+		{"spill-insert", "rewrites uncolorable registers onto the local-memory SpillStack (per candidate)"},
+		{"phys-rewrite", "virtual-to-physical register rewrite; verifies and emits the allocated kernel (per candidate)"},
+		{"shm-knapsack", "spill-stack knapsack placement into spare shared memory (paper Algorithm 1; per candidate)"},
+		{"tpsc-select", "TPSC-model selection across surviving candidates (oracle-select under Options.Oracle)"},
+	}
+}
+
+// PassCheckError reports a per-pass oracle spot-check failure: either the
+// pass's output diverged from its input (Div set) or the check itself could
+// not run (Err set). Unlike an infeasible register budget, this is a
+// pipeline fault — Optimize fails fast instead of skipping the candidate.
+type PassCheckError struct {
+	Pass string
+	Div  *oracle.Divergence
+	Err  error
+}
+
+func (e *PassCheckError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("core: pass %q spot-check: %v", e.Pass, e.Err)
+	}
+	return fmt.Sprintf("core: pass %q diverged: %v", e.Pass, e.Div)
+}
+
+func (e *PassCheckError) Unwrap() error { return e.Err }
+
+// passManager builds the instrumented pass manager one Optimize (or
+// planModeCtx) invocation threads through every pipeline stage. The zero
+// configuration is free: hooks stay nil and the manager only records
+// per-pass events and the process-wide timing aggregates.
+func (o Options) passManager(app App) *passes.Manager {
+	pm := &passes.Manager{VerifyEach: o.VerifyEachPass, DumpAfter: o.DumpAfter}
+	if o.OracleEachPass {
+		oopts := o.oracleOpts(app)
+		pm.SpotCheck = func(pass string, before, after *ptx.Kernel) error {
+			div, err := oracle.Check(before, after, "pass:"+pass, oopts)
+			if err != nil {
+				return &PassCheckError{Pass: pass, Err: err}
+			}
+			if div != nil {
+				return &PassCheckError{Pass: pass, Div: div}
+			}
+			return nil
+		}
+	}
+	return pm
+}
+
+// isPipelineFault separates hard pipeline failures (a pass produced
+// unverifiable IR, or a spot-check diverged) from ordinary per-candidate
+// infeasibility (regalloc.ErrInfeasible and friends), which the pruning
+// loop absorbs by dropping the design point.
+func isPipelineFault(err error) bool {
+	var verr *ptx.VerifyError
+	var cerr *PassCheckError
+	return errors.As(err, &verr) || errors.As(err, &cerr)
+}
+
+// designPoint is one surviving (register budget, TLP) pair from pruning.
+type designPoint struct {
+	Reg, TLP int
+}
+
+// prunePass implements the paper's §4.2 design-space pruning as the
+// pipeline's first pass: rightmost point per occupancy stair, TLP capped at
+// OptTLP unless the ablation disables it, dominated register budgets
+// removed (the same budget at a lower TLP compiles to identical code with
+// less parallelism and can never win).
+type prunePass struct {
+	a      *Analysis
+	arch   gpusim.Config
+	opts   Options
+	points []designPoint // output
+}
+
+func (p *prunePass) Name() string { return "prune" }
+
+func (p *prunePass) Requires() []passes.Kind { return nil }
+
+func (p *prunePass) Invalidates() []passes.Kind { return nil }
+
+func (p *prunePass) Run(_ *ptx.Kernel, _ *passes.AnalysisManager) error {
+	stairs := p.a.Staircase(p.arch)
+	seenReg := make(map[int]bool)
+	for _, tlp := range sortedTLPs(stairs) {
+		if !p.opts.DisablePruning && tlp > p.a.OptTLP {
+			continue
+		}
+		reg := stairs[tlp]
+		if seenReg[reg] {
+			continue
+		}
+		seenReg[reg] = true
+		p.points = append(p.points, designPoint{Reg: reg, TLP: tlp})
+	}
+	return nil
+}
+
+// tpscSelectPass picks the candidate with the smallest TPSC metric; ties
+// (e.g. several spill-free points with cost 0) break toward the higher TLP,
+// then more registers.
+type tpscSelectPass struct {
+	d *Decision
+}
+
+func (p *tpscSelectPass) Name() string { return "tpsc-select" }
+
+func (p *tpscSelectPass) Requires() []passes.Kind { return nil }
+
+func (p *tpscSelectPass) Invalidates() []passes.Kind { return nil }
+
+func (p *tpscSelectPass) Run(_ *ptx.Kernel, _ *passes.AnalysisManager) error {
+	d := p.d
+	best := 0
+	for i := 1; i < len(d.Candidates); i++ {
+		c, b := &d.Candidates[i], &d.Candidates[best]
+		switch {
+		case c.TPSC < b.TPSC:
+			best = i
+		case c.TPSC == b.TPSC && c.TLP > b.TLP:
+			best = i
+		case c.TPSC == b.TPSC && c.TLP == b.TLP && c.Reg > b.Reg:
+			best = i
+		}
+	}
+	d.Chosen = d.Candidates[best]
+	return nil
+}
+
+// oracleSelectPass is the ablation selector: simulate every candidate and
+// take the fastest. The candidates are independent kernels, so the sweep
+// fans out like the profiling one; the reduction stays in candidate order
+// so the winner (and first error) matches the serial loop.
+type oracleSelectPass struct {
+	ctx  context.Context
+	app  App
+	arch gpusim.Config
+	opts Options
+	d    *Decision
+}
+
+func (p *oracleSelectPass) Name() string { return "oracle-select" }
+
+func (p *oracleSelectPass) Requires() []passes.Kind { return nil }
+
+func (p *oracleSelectPass) Invalidates() []passes.Kind { return nil }
+
+func (p *oracleSelectPass) Run(_ *ptx.Kernel, _ *passes.AnalysisManager) error {
+	d := p.d
+	stats := make([]gpusim.Stats, len(d.Candidates))
+	errs := make([]error, len(d.Candidates))
+	poolErr := pool.RunCtx(p.ctx, p.opts.profileWorkers(), len(d.Candidates), func(i int) {
+		c := &d.Candidates[i]
+		stats[i], errs[i] = SimulateCtx(p.ctx, p.app, p.arch, &appKernel{k: c.Kernel(), regs: c.UsedRegs()}, c.TLP)
+	})
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	if poolErr != nil {
+		return poolErr
+	}
+	bestIdx, bestCycles := -1, int64(0)
+	for i := range d.Candidates {
+		d.Candidates[i].Cycles = stats[i].Cycles
+		if bestIdx == -1 || stats[i].Cycles < bestCycles {
+			bestIdx, bestCycles = i, stats[i].Cycles
+		}
+	}
+	d.Chosen = d.Candidates[bestIdx]
+	return nil
+}

@@ -5,9 +5,29 @@ import (
 	"testing"
 
 	"crat/internal/gpusim"
+	"crat/internal/passes"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 )
+
+// wrapPhysRewrite installs a global pass-wrap hook that runs fn on the
+// physical kernel emitted by every successful allocation (the phys-rewrite
+// pass rebinds its AnalysisManager to that kernel, so the After hook sees
+// it), passing along the allocation's options for filtering. It is the
+// pass-manager replacement for the old regalloc.MutateForTest variable.
+// Callers must defer passes.SetGlobalWrap(nil).
+func wrapPhysRewrite(fn func(k *ptx.Kernel, ropts regalloc.Options)) {
+	passes.SetGlobalWrap(func(p passes.Pass) passes.Pass {
+		pr, ok := passes.Inner(p).(interface{ AllocOptions() regalloc.Options })
+		if !ok {
+			return p
+		}
+		return passes.After(p, func(k *ptx.Kernel, _ *passes.AnalysisManager) error {
+			fn(k, pr.AllocOptions())
+			return nil
+		})
+	})
+}
 
 // verifyOpts returns pipeline options that run the oracle but no
 // simulations (OptTLP and Costs pinned).
@@ -70,7 +90,7 @@ func TestInjectedMiscompileDegrades(t *testing.T) {
 	chosenReg := clean.Chosen.Reg
 
 	mutated := false
-	regalloc.MutateForTest = func(k *ptx.Kernel, ropts regalloc.Options) {
+	wrapPhysRewrite(func(k *ptx.Kernel, ropts regalloc.Options) {
 		// Corrupt only the winning candidate's physical kernel: the first
 		// candidate-marked allocation at the chosen budget (budgets are
 		// deduped across candidates; the spillopt reallocation comes
@@ -79,8 +99,8 @@ func TestInjectedMiscompileDegrades(t *testing.T) {
 			return
 		}
 		mutated = mutateFirstF32Add(k)
-	}
-	defer func() { regalloc.MutateForTest = nil }()
+	})
+	defer passes.SetGlobalWrap(nil)
 
 	d, err := Optimize(app, opts)
 	if err != nil {
@@ -109,10 +129,10 @@ func TestInjectedMiscompileDegrades(t *testing.T) {
 // fail loudly rather than degrade.
 func TestMiscompiledBaselineIsHardError(t *testing.T) {
 	arch := gpusim.FermiConfig()
-	regalloc.MutateForTest = func(k *ptx.Kernel, _ regalloc.Options) {
+	wrapPhysRewrite(func(k *ptx.Kernel, _ regalloc.Options) {
 		mutateFirstF32Add(k)
-	}
-	defer func() { regalloc.MutateForTest = nil }()
+	})
+	defer passes.SetGlobalWrap(nil)
 
 	_, err := Optimize(testApp(), verifyOpts(arch))
 	if err == nil {

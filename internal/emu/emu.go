@@ -11,7 +11,7 @@ package emu
 import (
 	"fmt"
 
-	"crat/internal/cfg"
+	"crat/internal/passes"
 	"crat/internal/ptx"
 	"crat/internal/sem"
 )
@@ -116,45 +116,15 @@ type Result struct {
 	LastStore map[uint64]Store
 }
 
-// analysis is the static per-kernel data the emulator needs: branch targets
-// and reconvergence points.
-type analysis struct {
-	targets []int // per-pc branch target (-1 = not a bra)
-	reconv  []int // per-pc reconvergence pc (-1 = none)
-}
-
-func analyze(k *ptx.Kernel) (*analysis, error) {
+// analyze validates the kernel and fetches its branch-target/reconvergence
+// summary from the shared analysis registry (internal/passes) — the same
+// memoized substrate the cycle-level simulator uses, so a kernel analyzed
+// by either executor is never re-analyzed by the other.
+func analyze(k *ptx.Kernel) (*passes.KernelAnalyses, error) {
 	if err := k.Validate(); err != nil {
 		return nil, fmt.Errorf("emu: %w", err)
 	}
-	g, err := cfg.Build(k)
-	if err != nil {
-		return nil, err
-	}
-	reconvMap := g.ReconvergencePoints()
-	labels := make(map[string]int)
-	for i := range k.Insts {
-		if l := k.Insts[i].Label; l != "" {
-			labels[l] = i
-		}
-	}
-	a := &analysis{
-		targets: make([]int, len(k.Insts)),
-		reconv:  make([]int, len(k.Insts)),
-	}
-	for i := range k.Insts {
-		a.targets[i] = -1
-		if k.Insts[i].Op == ptx.OpBra {
-			if t, ok := labels[k.Insts[i].Target]; ok {
-				a.targets[i] = t
-			}
-		}
-		a.reconv[i] = -1
-		if r, ok := reconvMap[i]; ok {
-			a.reconv[i] = r
-		}
-	}
-	return a, nil
+	return passes.Shared(k)
 }
 
 // simtEntry mirrors the simulator's divergence stack entries.
@@ -182,7 +152,7 @@ type warp struct {
 type machine struct {
 	launch     Launch
 	kernel     *ptx.Kernel
-	an         *analysis
+	an         *passes.KernelAnalyses
 	mem        *sem.Memory
 	paramBlock []byte
 	warpSize   int
@@ -428,14 +398,14 @@ func onesCount(v uint64) int {
 // reconvergence, identically to the simulator.
 func (m *machine) execBranch(w *warp, pc int, activeMask, takenMask uint64) {
 	top := &w.stack[len(w.stack)-1]
-	target := m.an.targets[pc]
+	target := m.an.Targets[pc]
 	switch takenMask {
 	case activeMask:
 		top.pc = target
 	case 0:
 		top.pc = pc + 1
 	default:
-		rpc := m.an.reconv[pc]
+		rpc := m.an.Reconv[pc]
 		if rpc < 0 {
 			rpc = len(m.kernel.Insts)
 		}

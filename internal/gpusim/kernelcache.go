@@ -5,7 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"crat/internal/cfg"
+	"crat/internal/passes"
 	"crat/internal/ptx"
 )
 
@@ -79,73 +79,51 @@ func infoFor(k *ptx.Kernel) (*kernelInfo, error) {
 	return info, nil
 }
 
-// buildKernelInfo runs the once-per-kernel analyses.
+// buildKernelInfo runs the once-per-kernel analyses: validation and the
+// simulator-specific immediate pre-encoding here, everything else
+// (branch targets, reconvergence, use/def) from the shared analysis
+// registry (internal/passes) the emulator also uses.
 func buildKernelInfo(k *ptx.Kernel) *kernelInfo {
 	info := &kernelInfo{nInsts: len(k.Insts)}
 	if err := k.Validate(); err != nil {
 		info.err = fmt.Errorf("gpusim: %w", err)
 		return info
 	}
-	g, err := cfg.Build(k)
+	an, err := passes.Shared(k)
 	if err != nil {
 		info.err = err
 		return info
 	}
-	reconvMap := g.ReconvergencePoints()
+	info.targets = an.Targets
+	info.reconv = an.Reconv
+	info.uses = an.Uses
+	info.defs = an.Defs
 
-	labels := make(map[string]int)
-	for i := range k.Insts {
-		if l := k.Insts[i].Label; l != "" {
-			labels[l] = i
-		}
-	}
-
+	// Pre-encode immediate sources at the type each call site will request
+	// (OpCvt reads its source at CvtFrom), so the per-lane operand path
+	// becomes a table lookup.
 	n := len(k.Insts)
-	info.targets = make([]int, n)
-	info.reconv = make([]int, n)
-	info.defs = make([]ptx.Reg, n)
-	info.uses = make([][]ptx.Reg, n)
 	info.imms = make([][]uint64, n)
-	var useArena []ptx.Reg // one backing array for all use slices
-	var immArena []uint64  // likewise for immediate encodings
+	var immArena []uint64 // one backing array for all encodings
 	for i := range k.Insts {
 		in := &k.Insts[i]
-		info.targets[i] = -1
-		if in.Op == ptx.OpBra {
-			if t, ok := labels[in.Target]; ok {
-				info.targets[i] = t
-			}
+		if len(in.Srcs) == 0 {
+			continue
 		}
-		info.reconv[i] = -1
-		if r, ok := reconvMap[i]; ok {
-			info.reconv[i] = r
-		}
-		start := len(useArena)
-		useArena = in.Uses(useArena)
-		info.uses[i] = useArena[start:len(useArena):len(useArena)]
-		info.defs[i] = ptx.NoReg
-		if in.Dst.Kind == ptx.OperandReg {
-			info.defs[i] = in.Dst.Reg
-		}
-		// Pre-encode immediate sources at the type each call site will
-		// request (OpCvt reads its source at CvtFrom), so the per-lane
-		// operand path becomes a table lookup.
-		if len(in.Srcs) > 0 {
-			start = len(immArena)
-			for j := range in.Srcs {
-				o := &in.Srcs[j]
-				var v uint64
-				if o.Kind == ptx.OperandImm || o.Kind == ptx.OperandFImm {
-					t := in.Type
-					if in.Op == ptx.OpCvt && j == 0 {
-						t = in.CvtFrom
-					}
-					v = immBits(*o, t)
+		start := len(immArena)
+		for j := range in.Srcs {
+			o := &in.Srcs[j]
+			var v uint64
+			if o.Kind == ptx.OperandImm || o.Kind == ptx.OperandFImm {
+				t := in.Type
+				if in.Op == ptx.OpCvt && j == 0 {
+					t = in.CvtFrom
 				}
-				immArena = append(immArena, v)
+				v = immBits(*o, t)
 			}
-			info.imms[i] = immArena[start:len(immArena):len(immArena)]
+			immArena = append(immArena, v)
 		}
+		info.imms[i] = immArena[start:len(immArena):len(immArena)]
 	}
 	return info
 }

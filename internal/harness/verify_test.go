@@ -6,6 +6,7 @@ import (
 
 	"crat/internal/core"
 	"crat/internal/gpusim"
+	"crat/internal/passes"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 )
@@ -56,14 +57,23 @@ func TestSessionVerifyDegradedMode(t *testing.T) {
 		t.Fatalf("precondition: chosen budget %d equals MaxReg, so the mutation below could not spare the baseline fallback; raise p.Pressure", chosenReg)
 	}
 
-	// Corrupt every physical kernel allocated at the mode's budget. The
+	// Corrupt every physical kernel allocated at the mode's budget (the
+	// phys-rewrite pass rebinds its AnalysisManager to the physical kernel,
+	// so the After hook sees exactly what the allocation returns). The
 	// baseline fallback (MaxReg) stays honest.
-	regalloc.MutateForTest = func(k *ptx.Kernel, ropts regalloc.Options) {
-		if ropts.Regs == chosenReg {
-			mutateFirstF32Add(k)
+	passes.SetGlobalWrap(func(p passes.Pass) passes.Pass {
+		pr, ok := passes.Inner(p).(interface{ AllocOptions() regalloc.Options })
+		if !ok {
+			return p
 		}
-	}
-	defer func() { regalloc.MutateForTest = nil }()
+		return passes.After(p, func(k *ptx.Kernel, _ *passes.AnalysisManager) error {
+			if pr.AllocOptions().Regs == chosenReg {
+				mutateFirstF32Add(k)
+			}
+			return nil
+		})
+	})
+	defer passes.SetGlobalWrap(nil)
 
 	s, err := NewSession(gpusim.FermiConfig())
 	if err != nil {

@@ -1,0 +1,94 @@
+package passes
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"crat/internal/ptx"
+)
+
+// KernelAnalyses is the read-side bundle the executors (gpusim, emu)
+// consume: per-pc branch targets, reconvergence points, and register
+// use/def summaries. It is built once per kernel identity through an
+// AnalysisManager and shared across concurrent simulations.
+type KernelAnalyses struct {
+	Targets []int       // per-pc branch target instruction index (-1 = not a bra)
+	Reconv  []int       // per-pc reconvergence pc for conditional branches (-1 = none)
+	Uses    [][]ptx.Reg // per-pc registers read (guard, sources, memory bases)
+	Defs    []ptx.Reg   // per-pc register written (ptx.NoReg = none)
+}
+
+// sharedEntry holds one kernel's analyses. res is an atomic pointer because
+// the staleness check in Shared reads it while another goroutine may still
+// be inside the entry's once.Do publishing it.
+type sharedEntry struct {
+	once sync.Once
+	res  atomic.Pointer[sharedResult]
+}
+
+type sharedResult struct {
+	an     *KernelAnalyses
+	err    error
+	nInsts int // len(k.Insts) at analysis time (staleness guard)
+}
+
+// sharedCacheMax bounds the registry; past it the map is evicted wholesale
+// (long sweeps allocate thousands of short-lived kernels, and rebuilding a
+// handful of live ones is cheaper than retaining them all).
+const sharedCacheMax = 1024
+
+var (
+	sharedMu    sync.Mutex
+	sharedCache = map[*ptx.Kernel]*sharedEntry{}
+)
+
+// Shared returns the memoized KernelAnalyses for k, computing them on
+// first use. The kernel must not be mutated after its first lookup; callers
+// that edit instructions get a fresh entry because Clone yields a new
+// pointer, and a kernel whose instruction count changed since analysis is
+// re-analyzed rather than served stale. Shared does not validate the
+// kernel — executors keep their own Validate calls (and error wrapping) in
+// front of it; a malformed CFG surfaces as cfg.Build's error, unwrapped.
+func Shared(k *ptx.Kernel) (*KernelAnalyses, error) {
+	sharedMu.Lock()
+	e, ok := sharedCache[k]
+	if ok {
+		// Guard against in-place growth (builder reuse): re-analyze.
+		if done := e.res.Load(); done != nil && done.nInsts != len(k.Insts) {
+			ok = false
+		}
+	}
+	if !ok {
+		if len(sharedCache) >= sharedCacheMax {
+			sharedCache = map[*ptx.Kernel]*sharedEntry{}
+		}
+		e = &sharedEntry{}
+		sharedCache[k] = e
+	}
+	sharedMu.Unlock()
+
+	e.once.Do(func() { e.res.Store(buildShared(k)) })
+	res := e.res.Load()
+	if res.err != nil {
+		return nil, res.err
+	}
+	return res.an, nil
+}
+
+func buildShared(k *ptx.Kernel) *sharedResult {
+	am := NewAnalysisManager(k)
+	rc, err := am.Reconvergence()
+	if err != nil {
+		return &sharedResult{err: err, nInsts: len(k.Insts)}
+	}
+	ud := am.UseDef()
+	return &sharedResult{
+		an: &KernelAnalyses{
+			Targets: rc.Targets,
+			Reconv:  rc.Reconv,
+			Uses:    ud.Uses,
+			Defs:    ud.Defs,
+		},
+		nInsts: len(k.Insts),
+	}
+}

@@ -138,73 +138,6 @@ type allocState struct {
 	res     *Result
 }
 
-// Allocate colors the kernel's virtual registers into at most opts.Regs
-// 32-bit slots per thread, spilling to a local-memory SpillStack when the
-// limit is exceeded (paper §5.1). The input kernel is not modified.
-// MutateForTest, when non-nil, is invoked on every allocation's final
-// physical kernel just before Allocate returns it. It exists solely so
-// tests can inject a structurally-valid miscompile downstream of the
-// allocator's own verifier and prove the semantic oracle catches it and
-// degrades gracefully. Always nil outside tests.
-var MutateForTest func(k *ptx.Kernel, opts Options)
-
-func Allocate(k *ptx.Kernel, opts Options) (*Result, error) {
-	if opts.Regs <= 0 {
-		return nil, fmt.Errorf("regalloc: non-positive register budget %d", opts.Regs)
-	}
-	st := &allocState{
-		opts:    opts,
-		k:       k.Clone(),
-		noSpill: make(map[ptx.Reg]bool),
-		slots:   make(map[ptx.Reg]SpillSlot),
-		baseReg: ptx.NoReg,
-		res:     &Result{},
-	}
-	if opts.Coalesce {
-		n, err := coalesce(st.k, opts.Regs)
-		if err != nil {
-			return nil, err
-		}
-		st.res.Coalesced = n
-	}
-	for iter := 0; iter < opts.maxIter(); iter++ {
-		st.res.Iterations = iter + 1
-		var (
-			assignment      map[ptx.Reg]int
-			spillCandidates []ptx.Reg
-			err             error
-		)
-		if opts.Algorithm == AlgoLinearScan {
-			assignment, spillCandidates, err = st.colorLinear()
-		} else {
-			assignment, spillCandidates, err = st.color()
-		}
-		if err != nil {
-			return nil, err
-		}
-		if len(spillCandidates) == 0 {
-			st.finish(assignment)
-			// Defense in depth: a bug in spill insertion or the physical
-			// rewrite must surface here as a structured VerifyError, not as
-			// a downstream simulator fault.
-			if err := ptx.Verify(st.res.Virtual, "spill-insert"); err != nil {
-				return nil, err
-			}
-			if err := ptx.Verify(st.res.Kernel, "regalloc"); err != nil {
-				return nil, err
-			}
-			if MutateForTest != nil {
-				MutateForTest(st.res.Kernel, opts)
-			}
-			return st.res, nil
-		}
-		if err := st.insertSpills(spillCandidates); err != nil {
-			return nil, err
-		}
-	}
-	return nil, fmt.Errorf("regalloc: did not converge after %d iterations", opts.maxIter())
-}
-
 // MaxReg returns the number of 32-bit register slots needed to hold all the
 // kernel's variables without any spill — the MaxReg parameter of paper
 // Table 1, obtained through dataflow analysis. Because graph coloring is a
@@ -230,15 +163,10 @@ func MaxReg(k *ptx.Kernel) (int, error) {
 	}
 }
 
-// color runs one build-simplify-select round. It returns the coloring (slot
-// assignment) and the set of registers chosen for spilling (empty when the
-// coloring succeeded).
-func (st *allocState) color() (map[ptx.Reg]int, []ptx.Reg, error) {
-	g, err := cfg.Build(st.k)
-	if err != nil {
-		return nil, nil, err
-	}
-	lv := cfg.ComputeLiveness(g)
+// color runs one build-simplify-select round over the cached liveness. It
+// returns the coloring (slot assignment) and the set of registers chosen
+// for spilling (empty when the coloring succeeded).
+func (st *allocState) color(lv *cfg.Liveness) (map[ptx.Reg]int, []ptx.Reg, error) {
 	ig := buildIGraph(st.k, lv)
 	weights := lv.AccessWeights()
 	if st.opts.UnweightedSpillCost {

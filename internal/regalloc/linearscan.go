@@ -8,16 +8,11 @@ import (
 )
 
 // colorLinear runs one round of Poletto-Sarkar linear-scan allocation over
-// conservative linear live intervals. It serves as the independent
-// reference allocator for the spill-volume cross-validation of paper
-// Figure 12 ("we do not attempt to implement a register allocator that
-// perfectly matches the commercial compiler").
-func (st *allocState) colorLinear() (map[ptx.Reg]int, []ptx.Reg, error) {
-	g, err := cfg.Build(st.k)
-	if err != nil {
-		return nil, nil, err
-	}
-	lv := cfg.ComputeLiveness(g)
+// conservative linear live intervals from the cached liveness. It serves
+// as the independent reference allocator for the spill-volume
+// cross-validation of paper Figure 12 ("we do not attempt to implement a
+// register allocator that perfectly matches the commercial compiler").
+func (st *allocState) colorLinear(lv *cfg.Liveness) (map[ptx.Reg]int, []ptx.Reg, error) {
 	ranges := lv.LiveRanges()
 
 	// Intervals of referenced, non-predicate registers in start order.

@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"sort"
 
-	"crat/internal/cfg"
+	"crat/internal/passes"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 )
@@ -94,6 +94,14 @@ type Result struct {
 // no spills, or no sub-stack fits in the spare shared memory, it returns
 // the input allocation unchanged (with the group analysis attached).
 func Optimize(r *regalloc.Result, allocOpts regalloc.Options, opts Options) (*Result, error) {
+	return OptimizeWith(nil, r, allocOpts, opts)
+}
+
+// OptimizeWith runs the optimization as a "shm-knapsack" pass under pm, so
+// callers composing a larger pipeline share one instrumented manager (the
+// nested reallocation's passes land under the same manager). A nil pm gets
+// a private uninstrumented manager.
+func OptimizeWith(pm *passes.Manager, r *regalloc.Result, allocOpts regalloc.Options, opts Options) (*Result, error) {
 	out := &Result{Alloc: r}
 	if r.Kernel != nil {
 		out.Overhead = r.Kernel.SpillOverhead()
@@ -104,12 +112,44 @@ func Optimize(r *regalloc.Result, allocOpts regalloc.Options, opts Options) (*Re
 	if opts.BlockSize <= 0 {
 		return nil, fmt.Errorf("spillopt: non-positive block size %d", opts.BlockSize)
 	}
-
-	groups := splitGroups(r.Spills, opts.Split)
-	gains, err := estimateGains(r, groups, opts.UnweightedGain)
-	if err != nil {
+	if pm == nil {
+		pm = &passes.Manager{}
+	}
+	p := &knapsackPass{pm: pm, r: r, allocOpts: allocOpts, opts: opts, out: out}
+	if err := pm.Run(passes.NewAnalysisManager(r.Virtual), p); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// knapsackPass is the shared-memory spilling optimization as a pipeline
+// pass: split the spill stack into sub-stacks, estimate gains from the
+// cached loop depths, solve the knapsack, and (when anything moves)
+// rewrite the virtual kernel and re-run allocation under the same manager.
+type knapsackPass struct {
+	pm        *passes.Manager
+	r         *regalloc.Result
+	allocOpts regalloc.Options
+	opts      Options
+	out       *Result
+}
+
+func (p *knapsackPass) Name() string { return "shm-knapsack" }
+
+func (p *knapsackPass) Requires() []passes.Kind {
+	return []passes.Kind{passes.KindCFG, passes.KindLoopDepth}
+}
+
+func (p *knapsackPass) Invalidates() []passes.Kind { return nil }
+
+func (p *knapsackPass) Run(k *ptx.Kernel, am *passes.AnalysisManager) error {
+	r, opts, out := p.r, p.opts, p.out
+	groups := splitGroups(r.Spills, opts.Split)
+	depth, err := am.InstLoopDepth()
+	if err != nil {
+		return err
+	}
+	gains := estimateGains(r, groups, opts.UnweightedGain, depth)
 	sizes := make([]int64, len(groups))
 	for i := range groups {
 		groups[i].Gain = gains[i]
@@ -137,23 +177,24 @@ func Optimize(r *regalloc.Result, allocOpts regalloc.Options, opts Options) (*Re
 	}
 	out.Groups = groups
 	if !anyMoved {
-		return out, nil
+		return nil
 	}
 
 	rewritten, err := rewriteToShared(r, groups, opts.BlockSize)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := ptx.Verify(rewritten, "spillopt"); err != nil {
-		return nil, err
+		return err
 	}
-	final, err := regalloc.Allocate(rewritten, allocOpts)
+	final, err := regalloc.AllocateWith(p.pm, rewritten, p.allocOpts)
 	if err != nil {
-		return nil, fmt.Errorf("spillopt: reallocation failed: %w", err)
+		return fmt.Errorf("spillopt: reallocation failed: %w", err)
 	}
 	out.Alloc = final
 	out.Overhead = final.Kernel.SpillOverhead()
-	return out, nil
+	am.Replace(final.Kernel)
+	return nil
 }
 
 // splitGroups partitions the spill slots into sub-stacks.
@@ -201,14 +242,9 @@ func splitGroups(spills []regalloc.SpillSlot, split Split) []Group {
 // estimateGains scans the virtual kernel for spill instructions (ld/st.local
 // addressed off the spill base register) and accumulates each group's
 // access count, weighted by 10^loop-depth unless unweighted (Algorithm 1
-// lines 4-12).
-func estimateGains(r *regalloc.Result, groups []Group, unweighted bool) ([]float64, error) {
+// lines 4-12). depth is the per-instruction loop depth of r.Virtual.
+func estimateGains(r *regalloc.Result, groups []Group, unweighted bool, depth []int) []float64 {
 	k := r.Virtual
-	g, err := cfg.Build(k)
-	if err != nil {
-		return nil, err
-	}
-	depth := g.InstLoopDepth()
 	groupOf := make(map[int64]int)
 	for gi := range groups {
 		for _, s := range groups[gi].Slots {
@@ -234,7 +270,7 @@ func estimateGains(r *regalloc.Result, groups []Group, unweighted bool) ([]float
 		}
 		gains[gi] += w
 	}
-	return gains, nil
+	return gains
 }
 
 // spillAccess reports whether in is a spill access through base, returning

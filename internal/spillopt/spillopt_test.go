@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"crat/internal/passes"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 )
@@ -339,14 +340,13 @@ func TestGainWeightsLoopAccesses(t *testing.T) {
 		t.Skip("allocator avoided spilling in this configuration")
 	}
 	groups := splitGroups(r.Spills, SplitPerVariable)
-	weighted, err := estimateGains(r, groups, false)
+	am := passes.NewAnalysisManager(r.Virtual)
+	depth, err := am.InstLoopDepth()
 	if err != nil {
 		t.Fatal(err)
 	}
-	unweighted, err := estimateGains(r, groups, true)
-	if err != nil {
-		t.Fatal(err)
-	}
+	weighted := estimateGains(r, groups, false, depth)
+	unweighted := estimateGains(r, groups, true, depth)
 	anyHigher := false
 	for i := range groups {
 		if weighted[i] > unweighted[i] {
