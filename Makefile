@@ -9,6 +9,7 @@ BENCHDATE := $(shell date +%F)
 SMOKEDIR := /tmp/crat-checkpoint-smoke
 ORACLEDIR := /tmp/crat-oracle-smoke
 GOLDENDIR := /tmp/crat-golden-diff
+SVCDIR := /tmp/crat-service-smoke
 
 # Normalization for golden-output comparison: drop the wall-clock footer,
 # mask duration tokens (the overhead table's profiling/static wall columns
@@ -17,7 +18,7 @@ GOLDENDIR := /tmp/crat-golden-diff
 # tracks the width of the masked durations).
 NORM = sed -E -e '/^done in /d' -e 's/[0-9]+(\.[0-9]+)?(µs|ms|m?s)\b/DUR/g' -e 's/ +/ /g' -e 's/ +$$//'
 
-.PHONY: all build vet test race race-harness bench-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke golden-diff golden-regen ci
+.PHONY: all build vet test race race-harness bench-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke golden-diff golden-regen ci
 
 all: build
 
@@ -86,6 +87,43 @@ oracle-smoke:
 pass-smoke:
 	$(GO) test -count=1 -run TestPassSmoke .
 
+# Service smoke: the cratd daemon's full robustness loop end to end.
+# Start cratd on an ephemeral port with a persistent cache, warm it with a
+# deterministic corpus, then SIGTERM the daemon while a second load run is
+# in flight and require a clean drain (exit 0 + "drained cleanly" in the
+# log). Restart on the same cache directory, replay the warm corpus, and
+# require /statsz to report zero computes — every answer came from the
+# journal — plus one persistent hit per distinct kernel.
+service-smoke:
+	rm -rf $(SVCDIR) && mkdir -p $(SVCDIR)
+	$(GO) build -o $(SVCDIR)/cratd ./cmd/cratd
+	$(GO) build -o $(SVCDIR)/cratload ./cmd/cratload
+	set -e; \
+	$(SVCDIR)/cratd -addr 127.0.0.1:0 -addr-file $(SVCDIR)/addr -cache $(SVCDIR)/cache > $(SVCDIR)/cratd1.log 2>&1 & \
+	CRATD_PID=$$!; \
+	for i in $$(seq 1 100); do [ -s $(SVCDIR)/addr ] && break; sleep 0.1; done; \
+	ADDR=http://$$(cat $(SVCDIR)/addr); \
+	$(SVCDIR)/cratload -addr $$ADDR -n 16 -kernels 8 -seed 1 -c 2 -retries 3; \
+	$(SVCDIR)/cratload -addr $$ADDR -n 64 -kernels 32 -seed 100 -retries 2 > $(SVCDIR)/load2.txt 2>&1 & \
+	LOAD_PID=$$!; \
+	sleep 1; \
+	kill -TERM $$CRATD_PID; \
+	wait $$CRATD_PID; \
+	wait $$LOAD_PID || true; \
+	grep -q 'drained cleanly; journal flushed' $(SVCDIR)/cratd1.log; \
+	$(SVCDIR)/cratd -addr 127.0.0.1:0 -addr-file $(SVCDIR)/addr2 -cache $(SVCDIR)/cache > $(SVCDIR)/cratd2.log 2>&1 & \
+	CRATD2_PID=$$!; \
+	for i in $$(seq 1 100); do [ -s $(SVCDIR)/addr2 ] && break; sleep 0.1; done; \
+	ADDR2=http://$$(cat $(SVCDIR)/addr2); \
+	$(SVCDIR)/cratload -addr $$ADDR2 -n 16 -kernels 8 -seed 1 -c 2 -retries 3; \
+	curl -s $$ADDR2/statsz > $(SVCDIR)/statsz.json; \
+	grep -q '"computes": 0' $(SVCDIR)/statsz.json; \
+	grep -q '"persistent_hits": 8' $(SVCDIR)/statsz.json; \
+	kill -TERM $$CRATD2_PID; \
+	wait $$CRATD2_PID; \
+	grep -q 'drained cleanly; journal flushed' $(SVCDIR)/cratd2.log
+	@echo "service-smoke: clean drain under load; restart served the corpus with zero recompiles"
+
 # Golden-output regression guard: re-render every experiment table and diff
 # against the committed experiments_output.txt (durations normalized, see
 # NORM). The full sweep is deterministic — any diff is a real behavior
@@ -102,4 +140,4 @@ golden-diff:
 golden-regen:
 	$(GO) run ./cmd/experiments -run all > experiments_output.txt
 
-ci: vet build race race-harness checkpoint-smoke bench-smoke fuzz-smoke oracle-smoke pass-smoke golden-diff
+ci: vet build race race-harness checkpoint-smoke bench-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke golden-diff

@@ -11,17 +11,21 @@
 package crat_test
 
 import (
+	"context"
 	"io"
+	"net/http/httptest"
 	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"crat/internal/checkpoint"
 	"crat/internal/core"
 	"crat/internal/gpusim"
 	"crat/internal/harness"
 	"crat/internal/passes"
+	"crat/internal/server"
 	"crat/internal/workloads"
 )
 
@@ -413,4 +417,42 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(warpInsts)/b.Elapsed().Seconds(), "warp-insts/s")
 	_ = io.Discard
+}
+
+// BenchmarkServiceThroughput measures cratd end-to-end: an in-process
+// daemon (admission control, cache tiers, oracle machinery all live)
+// driven by the closed-loop load generator. The svc-* metrics land in the
+// Service section of BENCH_<date>.json alongside simulator throughput.
+func BenchmarkServiceThroughput(b *testing.B) {
+	srv, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var last *server.LoadReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := server.RunLoad(context.Background(), ts.URL, server.LoadOptions{
+			Concurrency: 4,
+			Requests:    32,
+			Kernels:     8,
+			Seed:        1,
+			Block:       64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed > 0 || rep.OK != rep.Requests {
+			b.Fatalf("load run not clean: %+v", rep)
+		}
+		last = rep
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	b.ReportMetric(last.RPS, "svc-req/s")
+	b.ReportMetric(ms(last.P50), "svc-p50-ms")
+	b.ReportMetric(ms(last.P95), "svc-p95-ms")
+	b.ReportMetric(ms(last.P99), "svc-p99-ms")
+	b.ReportMetric(float64(last.Cached), "svc-cache-hits")
 }

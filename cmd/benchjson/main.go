@@ -23,6 +23,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"crat/internal/buildinfo"
 )
 
 // Benchmark is one parsed result line.
@@ -35,8 +37,12 @@ type Benchmark struct {
 
 // Report is the top-level JSON document.
 type Report struct {
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go_version"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	// Build attributes the snapshot to the binary that produced it
+	// (module version + VCS revision), so BENCH files are comparable
+	// across checkouts.
+	Build      string      `json:"build"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	// Headline flattens every custom (non-ns/op, non-allocation) metric
 	// across all benchmarks; duplicate units keep the last value seen.
@@ -51,6 +57,10 @@ type Report struct {
 	// counts. Like Checkpoint, they describe the compiler itself rather
 	// than simulated results, so they stay out of Headline.
 	Passes map[string]float64 `json:"passes,omitempty"`
+	// Service collects the cratd daemon metrics ("svc-*" units from
+	// BenchmarkServiceThroughput and `cratload -bench`): request
+	// throughput, latency percentiles, sheds, cache hits.
+	Service map[string]float64 `json:"service,omitempty"`
 }
 
 // parseLine parses a `go test -bench` result line, e.g.
@@ -107,6 +117,7 @@ func run(out string) error {
 	rep := Report{
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
+		Build:     buildinfo.String(),
 		Headline:  map[string]float64{},
 	}
 	sc := bufio.NewScanner(os.Stdin)
@@ -130,6 +141,13 @@ func run(out string) error {
 					rep.Passes = map[string]float64{}
 				}
 				rep.Passes[unit] = v
+				continue
+			}
+			if strings.HasPrefix(unit, "svc-") {
+				if rep.Service == nil {
+					rep.Service = map[string]float64{}
+				}
+				rep.Service[unit] = v
 				continue
 			}
 			if headlineUnit(unit) {
@@ -162,7 +180,12 @@ func run(out string) error {
 
 func main() {
 	out := flag.String("o", "-", "output file ('-' = stdout)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("benchjson")
+		return
+	}
 	if err := run(*out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

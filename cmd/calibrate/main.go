@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"crat/internal/buildinfo"
 	"crat/internal/core"
 	"crat/internal/gpusim"
 	"crat/internal/workloads"
@@ -24,7 +25,12 @@ func main() {
 	appsFlag := flag.String("apps", "", "comma-separated abbreviations (default: all sensitive)")
 	modes := flag.Bool("modes", false, "also simulate the four §7.2 modes")
 	archFlag := flag.String("arch", "fermi", "fermi or kepler")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("calibrate")
+		return
+	}
 
 	arch := gpusim.FermiConfig()
 	if *archFlag == "kepler" {

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"crat/internal/buildinfo"
 	"crat/internal/core"
 	"crat/internal/gpusim"
 	"crat/internal/oracle"
@@ -55,7 +56,12 @@ func main() {
 	listPasses := flag.Bool("passes", false, "list the pipeline passes in execution order and exit")
 	verifyPasses := flag.Bool("verify-passes", false, "run the PTX verifier on the working kernel after every pipeline pass (fail fast naming the pass)")
 	dumpAfter := flag.String("dump-after", "", "print the working kernel to stderr after every execution of the named pass")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("cratc")
+		return
+	}
 
 	if *listPasses {
 		for _, p := range core.PipelinePasses() {

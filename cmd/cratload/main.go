@@ -1,0 +1,87 @@
+// Command cratload is the closed-loop load generator for cratd: it drives
+// POST /v1/compile with a deterministic corpus of generated kernels and
+// reports throughput and latency percentiles, plus how the daemon's
+// robustness machinery responded (sheds, timeouts, degraded Decisions).
+//
+// Usage:
+//
+//	cratload -addr http://127.0.0.1:8177 [-n 64] [-c 8] [-kernels 8]
+//	         [-seed 1] [-block 64] [-timeout 30s] [-cancel-frac 0]
+//	         [-retries 0] [-verify] [-bench] [-version]
+//
+// The corpus is fully determined by -seed/-kernels/-block: re-running the
+// same invocation against a warm daemon is answered entirely from cache,
+// which `make service-smoke` uses to prove restarts re-simulate nothing.
+//
+// With -bench the result is also printed as a `go test -bench` style line
+// (svc-* metrics), so `cratload ... -bench | benchjson` folds service
+// performance into the same BENCH_<date>.json as simulator throughput.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"crat/internal/buildinfo"
+	"crat/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8177", "cratd base URL")
+	n := flag.Int("n", 64, "total requests")
+	c := flag.Int("c", 8, "closed-loop concurrency")
+	kernels := flag.Int("kernels", 8, "distinct generated kernels in the corpus")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	block := flag.Int("block", 64, "thread-block size")
+	arch := flag.String("arch", "", "target architecture (empty = daemon default)")
+	timeout := flag.Duration("timeout", 30*time.Second, "client-side per-request deadline")
+	timeoutMs := flag.Int("timeout-ms", 0, "server-side deadline sent with each request (0 = daemon default)")
+	cancelFrac := flag.Float64("cancel-frac", 0, "fraction of requests aborted client-side mid-flight")
+	retries := flag.Int("retries", 0, "retry shed (429) requests up to N times, honoring Retry-After")
+	verify := flag.Bool("verify", false, "request oracle verification on every compile")
+	bench := flag.Bool("bench", false, "also print a go-test-bench style line with svc-* metrics for benchjson")
+	version := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+
+	if *version {
+		buildinfo.Print("cratload")
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "cratload: %d requests, %d concurrent, %d kernels (seed %d) -> %s\n",
+		*n, *c, *kernels, *seed, *addr)
+	rep, err := server.RunLoad(ctx, *addr, server.LoadOptions{
+		Concurrency: *c,
+		Requests:    *n,
+		Kernels:     *kernels,
+		Seed:        *seed,
+		Block:       *block,
+		Arch:        *arch,
+		Verify:      *verify,
+		Timeout:     *timeout,
+		TimeoutMs:   *timeoutMs,
+		CancelFrac:  *cancelFrac,
+		Retries:     *retries,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cratload:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Summary())
+	if *bench {
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		fmt.Printf("BenchmarkServiceLoad 1 %d ns/op %.2f svc-req/s %.3f svc-p50-ms %.3f svc-p95-ms %.3f svc-p99-ms %d svc-shed %d svc-cache-hits %d svc-degraded\n",
+			rep.Elapsed.Nanoseconds(), rep.RPS, ms(rep.P50), ms(rep.P95), ms(rep.P99),
+			rep.Shed, rep.Cached, rep.Degraded)
+	}
+	if rep.Failed > 0 || rep.OK == 0 {
+		os.Exit(1)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"crat/internal/buildinfo"
 	"crat/internal/harness"
 	"crat/internal/pool"
 )
@@ -48,7 +49,12 @@ func main() {
 		"exit 1 if any fault was captured (default: degrade to ERROR rows and exit 0)")
 	passTimes := flag.Bool("pass-times", false,
 		"after the run, print the per-pass wall-time and IR-delta table (opt-in: kept out of the golden output)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("experiments")
+		return
+	}
 
 	if *list || *runFlag == "" {
 		fmt.Println("available experiments:")

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"crat/internal/buildinfo"
 	"crat/internal/gpusim"
 	"crat/internal/ptx"
 )
@@ -33,7 +34,12 @@ func main() {
 	scalars := flag.String("scalars", "", "comma-separated values for scalar parameters")
 	sched := flag.String("sched", "", "override scheduler: gto or lrr")
 	tracePath := flag.String("trace", "", "write a per-issue trace to this file")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("gpusim")
+		return
+	}
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "gpusim: -in is required")

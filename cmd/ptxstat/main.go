@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 
+	"crat/internal/buildinfo"
 	"crat/internal/cfg"
 	"crat/internal/core"
 	"crat/internal/gpusim"
@@ -27,7 +28,12 @@ func main() {
 	block := flag.Int("block", 128, "threads per block for the staircase")
 	showCFG := flag.Bool("cfg", false, "print basic blocks and edges")
 	showRanges := flag.Bool("ranges", false, "print per-register live ranges")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Print("ptxstat")
+		return
+	}
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ptxstat: -in is required")

@@ -1,0 +1,49 @@
+// Package buildinfo derives a single attributable version string for every
+// cmd/ binary from the information the Go toolchain embeds at link time
+// (runtime/debug.ReadBuildInfo): module version, VCS revision, and dirty
+// flag. Bug reports, BENCH snapshots, and /statsz responses all carry it,
+// so a number can always be traced back to the exact build that produced
+// it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns "crat <version> (<revision>[+dirty]) <go version>".
+// Fields that the build did not embed (e.g. `go run` outside a VCS
+// checkout) degrade to "devel"/"unknown" rather than being omitted, so the
+// string always has the same shape.
+func String() string {
+	version, revision, dirty := "devel", "unknown", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	if dirty {
+		revision += "+dirty"
+	}
+	return fmt.Sprintf("crat %s (%s) %s", version, revision, runtime.Version())
+}
+
+// Print writes the version line for one binary, e.g. "cratd: crat devel
+// (1a2b3c4d5e6f) go1.22.0". Every cmd/ binary's -version flag funnels here
+// so the output format stays uniform across tools.
+func Print(binary string) {
+	fmt.Printf("%s: %s\n", strings.TrimSpace(binary), String())
+}

@@ -47,6 +47,7 @@ type manifest struct {
 type Store struct {
 	mu      sync.Mutex
 	dir     string
+	key     string // config hash this store was opened under
 	entries map[string]json.RawMessage
 	loaded  int // entries restored from disk at Open (resume)
 }
@@ -72,7 +73,7 @@ func Open(dir, key, label string, resume bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, entries: make(map[string]json.RawMessage)}
+	s := &Store{dir: dir, key: key, entries: make(map[string]json.RawMessage)}
 
 	manifestPath := filepath.Join(dir, "manifest.json")
 	if resume {
@@ -88,8 +89,8 @@ func Open(dir, key, label string, resume bool) (*Store, error) {
 				return nil, fmt.Errorf("checkpoint: corrupt manifest %s: %w", manifestPath, err)
 			}
 			if m.Version != Version || m.Key != key {
-				return nil, fmt.Errorf("%w: manifest (version=%d key=%.12s…) does not match current configuration (version=%d key=%.12s…)",
-					ErrStale, m.Version, m.Key, Version, key)
+				return nil, fmt.Errorf("%w: %s: manifest (version=%d key=%.12s…) does not match current configuration (version=%d key=%.12s…)",
+					ErrStale, manifestPath, m.Version, m.Key, Version, key)
 			}
 			if err := s.loadJournal(); err != nil {
 				return nil, err
@@ -116,7 +117,7 @@ func Open(dir, key, label string, resume bool) (*Store, error) {
 		return nil, err
 	}
 	if err := writeAtomic(dir, "manifest.json", buf); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("checkpoint: initializing manifest %s (config %.12s…): %w", manifestPath, key, err)
 	}
 	return s, nil
 }
@@ -171,12 +172,48 @@ func (s *Store) Put(key string, v any) error {
 	return s.flushLocked()
 }
 
+// ErrConflict is returned by Put/Flush when the directory's manifest no
+// longer belongs to this store: a second writer (e.g. another daemon
+// pointed at the same cache directory) re-initialized it since we opened.
+var ErrConflict = errors.New("checkpoint: directory owned by another writer")
+
+// checkOwnershipLocked re-reads the manifest before every journal rewrite
+// and refuses to flush when another writer has re-initialized the
+// directory. Without the check two stores on one directory silently
+// clobber each other's journals; with it the loser gets an error naming
+// the path and both config hashes, so the misconfiguration is attributable.
+func (s *Store) checkOwnershipLocked() error {
+	manifestPath := filepath.Join(s.dir, "manifest.json")
+	buf, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return fmt.Errorf("%w: manifest %s unreadable (our config %.12s…): %v",
+			ErrConflict, manifestPath, s.key, err)
+	}
+	var m manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return fmt.Errorf("%w: manifest %s corrupt (our config %.12s…): %v",
+			ErrConflict, manifestPath, s.key, err)
+	}
+	if m.Version != Version || m.Key != s.key {
+		return fmt.Errorf("%w: %s holds key %.12s…, this store's config is %.12s… — is another daemon journaling into the same directory?",
+			ErrConflict, manifestPath, m.Key, s.key)
+	}
+	return nil
+}
+
 func (s *Store) flushLocked() error {
+	if err := s.checkOwnershipLocked(); err != nil {
+		return err
+	}
 	buf, err := json.MarshalIndent(s.entries, "", " ")
 	if err != nil {
 		return err
 	}
-	return writeAtomic(s.dir, "journal.json", buf)
+	if err := writeAtomic(s.dir, "journal.json", buf); err != nil {
+		return fmt.Errorf("checkpoint: flushing journal %s (config %.12s…): %w",
+			filepath.Join(s.dir, "journal.json"), s.key, err)
+	}
+	return nil
 }
 
 // Count returns the number of persisted entries.

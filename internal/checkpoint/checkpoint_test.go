@@ -267,3 +267,87 @@ func TestConcurrentResumeStale(t *testing.T) {
 		t.Errorf("stale key resumed against the surviving journal: err = %v", err)
 	}
 }
+
+// TestDoubleOpenConflict is the two-daemons-one-directory scenario: a
+// second store fresh-opened on the same directory under a different config
+// takes ownership; the first store's next Put must fail with ErrConflict,
+// naming the manifest path and both config hashes, instead of silently
+// clobbering the new owner's journal.
+func TestDoubleOpenConflict(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, "cfg-a", "daemon-a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put("x", payload{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Daemon B points at the same directory and re-initializes it.
+	b, err := Open(dir, "cfg-b", "daemon-b", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put("y", payload{Cycles: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Daemon A no longer owns the directory: its flush must refuse.
+	err = a.Put("z", payload{Cycles: 3})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("Put after hijack: err = %v, want ErrConflict", err)
+	}
+	for _, want := range []string{dir, "cfg-a", "cfg-b"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("conflict error %q does not mention %q", err, want)
+		}
+	}
+	// B's journal must be intact: A's refused flush wrote nothing.
+	r, err := Open(dir, "cfg-b", "daemon-b", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("y") || r.Has("z") || r.Has("x") {
+		t.Errorf("surviving journal keys = %v, want exactly [y]", r.Keys())
+	}
+}
+
+// TestStaleErrorNamesManifestPath: attribution for the resume-mismatch
+// case — the error must say which manifest file rejected the resume.
+func TestStaleErrorNamesManifestPath(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(dir, "cfg-a", "", false); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, "cfg-b", "", true)
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("err = %v, want ErrStale", err)
+	}
+	if !strings.Contains(err.Error(), filepath.Join(dir, "manifest.json")) {
+		t.Errorf("stale error %q does not name the manifest path", err)
+	}
+}
+
+// TestFlushErrorNamesJournalAndConfig: when the directory disappears under
+// a live writer, the Put error must name the journal path and the store's
+// config hash so the failure is attributable to the right daemon/config.
+func TestFlushErrorNamesJournalAndConfig(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(dir, "cfg-attrib", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", payload{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Put("b", payload{Cycles: 2})
+	if err == nil {
+		t.Fatal("Put into a removed directory succeeded")
+	}
+	for _, want := range []string{dir, "cfg-attrib"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("flush error %q does not mention %q", err, want)
+		}
+	}
+}

@@ -97,12 +97,22 @@ func RunCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	worker := func() {
 		defer wg.Done()
 		for {
-			if done != nil && ctx.Err() != nil {
-				return
-			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
+			}
+			// Cancellation fast path at dequeue: the check runs after the
+			// index is claimed, so a cancel that lands while a worker sits
+			// between jobs (or while it was blocked inside the previous
+			// job) stops the queue before the claimed job starts. Claimed-
+			// but-unstarted indices are simply abandoned — RunCtx reports
+			// ctx.Err(), so callers know the run was partial.
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
 			}
 			func() {
 				defer func() {

@@ -124,6 +124,41 @@ func TestRunCtxCancelStopsDispatch(t *testing.T) {
 	}
 }
 
+// TestRunCtxCancelFastPathAtDequeue pins one worker inside job 0 and has
+// job 1 cancel the context before unblocking it: job 2 is queued the whole
+// time, and the dequeue-time cancellation check must prevent it from ever
+// starting — on either worker, whichever claims it first. The interleaving
+// is fully determined by the channels, so the test is deterministic under
+// -race.
+func TestRunCtxCancelFastPathAtDequeue(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j0started := make(chan struct{})
+	j0release := make(chan struct{})
+	var ran [3]atomic.Bool
+	err := RunCtx(ctx, 2, 3, func(i int) {
+		ran[i].Store(true)
+		switch i {
+		case 0:
+			close(j0started)
+			<-j0release
+		case 1:
+			<-j0started // the other worker is committed to job 0
+			cancel()    // job 2 is still queued at this instant
+			close(j0release)
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if !ran[0].Load() || !ran[1].Load() {
+		t.Fatalf("setup jobs did not run: job0=%v job1=%v", ran[0].Load(), ran[1].Load())
+	}
+	if ran[2].Load() {
+		t.Fatalf("queued job started after cancellation")
+	}
+}
+
 func TestRunCtxCompletesCleanly(t *testing.T) {
 	var ran atomic.Int32
 	if err := RunCtx(context.Background(), 4, 64, func(i int) { ran.Add(1) }); err != nil {

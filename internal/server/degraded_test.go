@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"crat/internal/core"
+	"crat/internal/gpusim"
+	"crat/internal/passes"
+	"crat/internal/ptx"
+	"crat/internal/regalloc"
+)
+
+// corruptCandidates installs a global pass-wrap hook that miscompiles the
+// physical kernel of every candidate allocation while sparing the
+// analysis sweeps and the degraded-mode baseline. The discriminator is the
+// Coalesce option: candidate allocations inherit it from the request,
+// while baselineCandidate and the analysis allocations always use default
+// options — so a request with coalesce=true marks exactly the allocations
+// the oracle must catch. Callers must defer passes.SetGlobalWrap(nil).
+func corruptCandidates() {
+	passes.SetGlobalWrap(func(p passes.Pass) passes.Pass {
+		pr, ok := passes.Inner(p).(interface{ AllocOptions() regalloc.Options })
+		if !ok {
+			return p
+		}
+		return passes.After(p, func(k *ptx.Kernel, _ *passes.AnalysisManager) error {
+			if !pr.AllocOptions().Coalesce {
+				return nil
+			}
+			// Flip the first f32 add to a sub: structurally valid, so only
+			// the differential oracle can reject it.
+			for i := range k.Insts {
+				in := &k.Insts[i]
+				if in.Op == ptx.OpAdd && in.Type == ptx.F32 {
+					in.Op = ptx.OpSub
+					break
+				}
+			}
+			return nil
+		})
+	})
+}
+
+// TestDegradedEndToEnd is the satellite acceptance scenario: an injected
+// miscompile corrupts every candidate allocation; the daemon must answer
+// 200 with degraded: true and the verified baseline kernel — never a 500 —
+// and every cache tier must replay that degraded Decision consistently,
+// including across a daemon restart.
+func TestDegradedEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 1, CacheDir: dir})
+
+	vtrue := true
+	req := CompileRequest{
+		PTX:      testPTX("k_degraded", 10),
+		Block:    64,
+		Coalesce: true,
+		Verify:   &vtrue,
+	}
+
+	corruptCandidates()
+	defer passes.SetGlobalWrap(nil)
+
+	var r1 CompileResponse
+	if code := post(t, ts.URL, req, &r1); code != http.StatusOK {
+		t.Fatalf("degraded compile: status = %d, want 200 (divergence must not be a 500)", code)
+	}
+	if !r1.Degraded {
+		t.Fatalf("injected miscompile not detected: %+v", r1)
+	}
+	if r1.Divergence == "" {
+		t.Error("degraded response carries no divergence report")
+	}
+	if got := s.Stats().Degraded.Load(); got != 1 {
+		t.Errorf("degraded counter = %d, want 1", got)
+	}
+
+	// The response must hold the verified baseline: the conservative
+	// MaxReg allocation with default options. Recompute it honestly (the
+	// wrap spares default-option allocations, but clear it anyway) and
+	// compare kernels exactly.
+	passes.SetGlobalWrap(nil)
+	module, err := ptx.ParseModule(req.PTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := core.App{Name: "k_degraded", Kernel: module.Kernels[0], Block: 64, Grid: 1}
+	a, err := core.Analyze(app, gpusim.FermiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := regalloc.Allocate(app.Kernel, regalloc.Options{Regs: a.MaxReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Reg != baseline.UsedRegs {
+		t.Errorf("degraded Reg = %d, want baseline UsedRegs %d", r1.Reg, baseline.UsedRegs)
+	}
+	got, err := ptx.ParseModule(r1.PTX)
+	if err != nil {
+		t.Fatalf("degraded PTX does not parse: %v", err)
+	}
+	// The response went through a print→parse roundtrip, which renumbers
+	// registers in first-use order; push both kernels through the same
+	// roundtrip before comparing.
+	canonical := func(k *ptx.Kernel) string {
+		m, perr := ptx.ParseModule(ptx.Print(k))
+		if perr != nil {
+			t.Fatalf("canonicalizing kernel: %v", perr)
+		}
+		return ptx.Print(m.Kernels[0])
+	}
+	if want, have := canonical(baseline.Kernel), canonical(got.Kernels[0]); want != have {
+		t.Errorf("degraded PTX is not the baseline allocation:\nwant:\n%s\nhave:\n%s", want, have)
+	}
+
+	// With the injection removed, an honest recompile would NOT degrade —
+	// but the cache must replay the recorded degraded Decision, not
+	// silently flip answers for the same request.
+	var r2 CompileResponse
+	if code := post(t, ts.URL, req, &r2); code != http.StatusOK {
+		t.Fatalf("cached degraded replay: status = %d", code)
+	}
+	if !r2.Cached || r2.CacheTier != "memory" {
+		t.Errorf("replay not served from memory tier: cached=%v tier=%q", r2.Cached, r2.CacheTier)
+	}
+	if !r2.Degraded || r2.PTX != r1.PTX || r2.Divergence != r1.Divergence {
+		t.Errorf("memory tier did not replay the degraded Decision consistently")
+	}
+
+	// And across a restart: the persistent tier replays it too, with zero
+	// recompilation.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	b, tsB := newTestServer(t, Config{Workers: 1, CacheDir: dir})
+	var r3 CompileResponse
+	if code := post(t, tsB.URL, req, &r3); code != http.StatusOK {
+		t.Fatalf("persistent degraded replay: status = %d", code)
+	}
+	if !r3.Cached || r3.CacheTier != "persistent" {
+		t.Errorf("replay not served from persistent tier: cached=%v tier=%q", r3.Cached, r3.CacheTier)
+	}
+	if !r3.Degraded || r3.PTX != r1.PTX {
+		t.Errorf("persistent tier did not replay the degraded Decision consistently")
+	}
+	if n := b.Stats().Computes.Load(); n != 0 {
+		t.Errorf("restarted daemon recompiled a cached degraded kernel: computes = %d", n)
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// cell is the in-memory tier of the result cache: a singleflight slot per
+// content hash, following the harness's call-cell discipline. The first
+// requester (the leader) computes; concurrent requesters for the same hash
+// block on that computation instead of burning a second worker slot; later
+// requesters get the memoized result. Cancellation never poisons the cell:
+// a leader that failed because its own deadline expired (or its client
+// hung up) is not memoized, and the first blocked waiter with a live
+// context retries as the new leader.
+type cell struct {
+	mu   sync.Mutex
+	done chan struct{} // non-nil while a computation is in flight
+	has  bool
+	val  *cacheEntry
+	err  error
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// do returns the cell's value, computing it via fn if needed. memoized
+// reports whether the value was served from the cell rather than computed
+// (or awaited) by this call — the memory-tier hit signal for /statsz.
+func (c *cell) do(ctx context.Context, fn func() (*cacheEntry, error)) (v *cacheEntry, memoized bool, err error) {
+	for {
+		c.mu.Lock()
+		if c.has {
+			v, err := c.val, c.err
+			c.mu.Unlock()
+			return v, true, err
+		}
+		if c.done == nil {
+			ch := make(chan struct{})
+			c.done = ch
+			c.mu.Unlock()
+			v, err := fn()
+			c.mu.Lock()
+			c.done = nil
+			if !isCancellation(err) {
+				c.has, c.val, c.err = true, v, err
+			}
+			c.mu.Unlock()
+			close(ch)
+			return v, false, err
+		}
+		ch := c.done
+		c.mu.Unlock()
+		select {
+		case <-ch:
+			// Leader finished: loop to read the memoized result, or — if
+			// the leader was canceled — to become the new leader.
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// cells is the keyed cell map. Entries are never evicted: a daemon's
+// working set is bounded by the distinct kernels it is asked to compile,
+// and each entry holds one compiled module (the persistent tier journals
+// the same data anyway). If that assumption breaks, eviction belongs here.
+type cells struct {
+	mu sync.Mutex
+	m  map[string]*cell
+}
+
+func newCells() *cells { return &cells{m: make(map[string]*cell)} }
+
+func (cs *cells) get(key string) *cell {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	c, ok := cs.m[key]
+	if !ok {
+		c = &cell{}
+		cs.m[key] = c
+	}
+	return c
+}
+
+func (cs *cells) len() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return len(cs.m)
+}
