@@ -18,7 +18,7 @@ SVCDIR := /tmp/crat-service-smoke
 # tracks the width of the masked durations).
 NORM = sed -E -e '/^done in /d' -e 's/[0-9]+(\.[0-9]+)?(µs|ms|m?s)\b/DUR/g' -e 's/ +/ /g' -e 's/ +$$//'
 
-.PHONY: all build vet test race race-harness bench-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke golden-diff golden-regen ci
+.PHONY: all build vet test race race-harness bench-smoke perf-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke golden-diff golden-regen ci
 
 all: build
 
@@ -43,6 +43,20 @@ race-harness:
 # gross slowdowns in the hot path without paying for a full bench run.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=SimulatorThroughput -benchtime=1x .
+
+# Throughput regression gate: a short benchmark run must clear a
+# conservative floor (~2x the pre-SoA 1.23M warp-insts/s seed; the SoA
+# engine records >4x, so the margin absorbs machine noise without letting a
+# hot-loop regression slip through silently).
+PERF_FLOOR ?= 2500000
+perf-smoke:
+	$(GO) test -run='^$$' -bench=SimulatorThroughput -benchtime=1x . | awk ' \
+		/warp-insts\/s/ { for (i = 1; i < NF; i++) if ($$(i+1) == "warp-insts/s") v = $$i + 0 } \
+		END { \
+			if (v == "") { print "perf-smoke: no warp-insts/s metric in benchmark output"; exit 1 } \
+			if (v < $(PERF_FLOOR)) { printf "perf-smoke: %d warp-insts/s below the %d floor\n", v, $(PERF_FLOOR); exit 1 } \
+			printf "perf-smoke: %d warp-insts/s clears the %d floor\n", v, $(PERF_FLOOR) \
+		}'
 
 # Full benchmark suite -> BENCH_<date>.json with the headline metrics
 # (geomean speedups, warp-insts/s). Seeds the perf trajectory across PRs.
@@ -140,4 +154,4 @@ golden-diff:
 golden-regen:
 	$(GO) run ./cmd/experiments -run all > experiments_output.txt
 
-ci: vet build race race-harness checkpoint-smoke bench-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke golden-diff
+ci: vet build race race-harness checkpoint-smoke bench-smoke perf-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke golden-diff

@@ -15,11 +15,13 @@ import (
 	"io"
 	"net/http/httptest"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
 	"time"
 
+	"crat/internal/buildinfo"
 	"crat/internal/checkpoint"
 	"crat/internal/core"
 	"crat/internal/gpusim"
@@ -416,6 +418,16 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		warpInsts += st.WarpInsts
 	}
 	b.ReportMetric(float64(warpInsts)/b.Elapsed().Seconds(), "warp-insts/s")
+	// Environment attestation for benchjson: throughput numbers are only
+	// comparable across snapshots when the recording conditions match, so
+	// the run self-reports the conditions that have silently skewed past
+	// snapshots (a -race build recorded BENCH_2026-08-05b.json at ~0.5x).
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "env-gomaxprocs")
+	race := 0.0
+	if buildinfo.RaceEnabled {
+		race = 1.0
+	}
+	b.ReportMetric(race, "env-race")
 	_ = io.Discard
 }
 

@@ -35,6 +35,25 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Environment records the conditions the benchmarks ran under. Throughput
+// snapshots are only comparable when these match; BENCH_2026-08-05b.json's
+// ~0.5x throughput anomaly was a race-enabled run recorded without any
+// marker, which this block (and the default refusal below) prevents.
+type Environment struct {
+	// GOMAXPROCS/Race come from the test binary itself (self-reported as
+	// env-* benchmark metrics), not from benchjson's own process — the two
+	// can be built differently.
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	Race       string `json:"race"` // "on", "off", or "unknown" (old logs)
+	// CPU/Goos/Goarch are parsed from `go test -bench` header lines.
+	CPU    string `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	// Build attributes the snapshot (module version + VCS revision).
+	Build     string `json:"build"`
+	GoVersion string `json:"go_version"`
+}
+
 // Report is the top-level JSON document.
 type Report struct {
 	Date      string `json:"date"`
@@ -42,8 +61,9 @@ type Report struct {
 	// Build attributes the snapshot to the binary that produced it
 	// (module version + VCS revision), so BENCH files are comparable
 	// across checkouts.
-	Build      string      `json:"build"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Build       string      `json:"build"`
+	Environment Environment `json:"environment"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
 	// Headline flattens every custom (non-ns/op, non-allocation) metric
 	// across all benchmarks; duplicate units keep the last value seen.
 	Headline map[string]float64 `json:"headline"`
@@ -113,19 +133,55 @@ func headlineUnit(unit string) bool {
 	return true
 }
 
-func run(out string) error {
+func run(out string, allowRace bool) error {
 	rep := Report{
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 		Build:     buildinfo.String(),
-		Headline:  map[string]float64{},
+		Environment: Environment{
+			Race:      "unknown",
+			Build:     buildinfo.String(),
+			GoVersion: runtime.Version(),
+		},
+		Headline: map[string]float64{},
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
-		b, ok := parseLine(sc.Text())
+		line := sc.Text()
+		// `go test -bench` header lines describe the machine.
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.Environment.CPU = strings.TrimSpace(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			rep.Environment.Goos = strings.TrimSpace(v)
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			rep.Environment.Goarch = strings.TrimSpace(v)
+			continue
+		}
+		b, ok := parseLine(line)
 		if !ok {
 			continue
+		}
+		// env-* metrics are the test binary's self-reported run conditions;
+		// they belong in the environment block, not among the results.
+		for unit, v := range b.Metrics {
+			switch unit {
+			case "env-gomaxprocs":
+				rep.Environment.GOMAXPROCS = int(v)
+			case "env-race":
+				if v != 0 {
+					rep.Environment.Race = "on"
+				} else {
+					rep.Environment.Race = "off"
+				}
+			default:
+				continue
+			}
+			delete(b.Metrics, unit)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)
 		for unit, v := range b.Metrics {
@@ -161,6 +217,10 @@ func run(out string) error {
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("benchjson: no benchmark lines on stdin")
 	}
+	if rep.Environment.Race == "on" && !allowRace {
+		return fmt.Errorf("benchjson: refusing to record a race-enabled benchmark run " +
+			"(throughput is not comparable to race-off snapshots; pass -allow-race to tag and record anyway)")
+	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -180,13 +240,14 @@ func run(out string) error {
 
 func main() {
 	out := flag.String("o", "-", "output file ('-' = stdout)")
+	allowRace := flag.Bool("allow-race", false, "record race-enabled runs (tagged in the environment block) instead of refusing")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 	if *version {
 		buildinfo.Print("benchjson")
 		return
 	}
-	if err := run(*out); err != nil {
+	if err := run(*out, *allowRace); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

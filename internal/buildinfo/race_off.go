@@ -1,0 +1,7 @@
+//go:build !race
+
+package buildinfo
+
+// RaceEnabled reports whether this binary was compiled with the race
+// detector. See race_on.go.
+const RaceEnabled = false

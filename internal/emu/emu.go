@@ -3,9 +3,14 @@
 // (immediate post-dominator stacks from internal/cfg) and the same
 // instruction semantics (internal/sem) as the cycle-level simulator, but
 // with no caches, scoreboards, or scheduling — only architectural state.
-// The differential oracle (internal/oracle) runs kernel variants through it
-// and compares final global memory, so correctness here is judged purely on
-// execution order and the rewrites under test, never on timing.
+// Both engines interpret the same pre-decoded micro-op stream from
+// internal/passes (operand kinds resolved, immediates encoded, symbols
+// folded once per kernel); the emulator reads the scalar fields per lane
+// because its warps may be up to 64 lanes wide, where the simulator runs
+// 32-lane register planes. The differential oracle (internal/oracle) runs
+// kernel variants through it and compares final global memory, so
+// correctness here is judged purely on execution order and the rewrites
+// under test, never on timing.
 package emu
 
 import (
@@ -116,10 +121,11 @@ type Result struct {
 	LastStore map[uint64]Store
 }
 
-// analyze validates the kernel and fetches its branch-target/reconvergence
-// summary from the shared analysis registry (internal/passes) — the same
-// memoized substrate the cycle-level simulator uses, so a kernel analyzed
-// by either executor is never re-analyzed by the other.
+// analyze validates the kernel and fetches its micro-op stream and
+// branch-target/reconvergence summary from the shared analysis registry
+// (internal/passes) — the same memoized substrate the cycle-level simulator
+// uses, so a kernel analyzed by either executor is never re-analyzed by the
+// other.
 func analyze(k *ptx.Kernel) (*passes.KernelAnalyses, error) {
 	if err := k.Validate(); err != nil {
 		return nil, fmt.Errorf("emu: %w", err)
@@ -153,6 +159,7 @@ type machine struct {
 	launch     Launch
 	kernel     *ptx.Kernel
 	an         *passes.KernelAnalyses
+	prog       []passes.MicroOp // the shared pre-decoded stream (an.Micro.Ops)
 	mem        *sem.Memory
 	paramBlock []byte
 	warpSize   int
@@ -205,6 +212,7 @@ func Run(l Launch, mem *sem.Memory) (*Result, error) {
 		launch:     l,
 		kernel:     k,
 		an:         an,
+		prog:       an.Micro.Ops,
 		mem:        mem,
 		paramBlock: buildParamBlock(k, l.Params),
 		warpSize:   ws,
@@ -325,15 +333,15 @@ func (m *machine) pcOf(w *warp) int {
 	return w.stack[len(w.stack)-1].pc
 }
 
-// step executes the warp's next instruction functionally.
+// step executes the warp's next micro-op functionally.
 func (m *machine) step(w *warp) {
 	top := &w.stack[len(w.stack)-1]
-	if top.pc >= len(m.kernel.Insts) {
+	if top.pc >= len(m.prog) {
 		m.exitLanes(w, top.mask)
 		return
 	}
 	pc := top.pc
-	in := &m.kernel.Insts[pc]
+	u := &m.prog[pc]
 
 	// Effective execution mask: active lanes whose guard holds.
 	execMask := uint64(0)
@@ -341,9 +349,9 @@ func (m *machine) step(w *warp) {
 		if top.mask&(1<<uint(l)) == 0 {
 			continue
 		}
-		if in.Guard != ptx.NoReg {
-			p := th.regs[in.Guard] != 0
-			if p == in.GuardNeg {
+		if u.Guard != ptx.NoReg {
+			p := th.regs[u.Guard] != 0
+			if p == u.GuardNeg {
 				continue
 			}
 		}
@@ -353,21 +361,21 @@ func (m *machine) step(w *warp) {
 	m.res.WarpInsts++
 	m.res.ThreadInsts += int64(onesCount(execMask))
 
-	switch in.Op {
-	case ptx.OpBra:
-		m.execBranch(w, pc, top.mask, execMask)
+	switch u.Class {
+	case passes.MicroBra:
+		m.execBranch(w, u, top.mask, execMask)
 		return
-	case ptx.OpExit, ptx.OpRet:
+	case passes.MicroExit:
 		m.exitLanes(w, top.mask)
 		return
-	case ptx.OpBar:
+	case passes.MicroBar:
 		top.pc++
 		m.popReconverged(w)
 		w.barrier = true
 		m.arrived++
 		m.releaseBarrier()
 		return
-	case ptx.OpNop:
+	case passes.MicroNop:
 		top.pc++
 		m.popReconverged(w)
 		return
@@ -377,7 +385,7 @@ func (m *machine) step(w *warp) {
 		if execMask&(1<<uint(l)) == 0 {
 			continue
 		}
-		if !m.execLane(w, th, pc, l, in) {
+		if !m.execLane(w, th, pc, l, u) {
 			return // faulted
 		}
 	}
@@ -395,19 +403,21 @@ func onesCount(v uint64) int {
 }
 
 // execBranch implements SIMT divergence with immediate-post-dominator
-// reconvergence, identically to the simulator.
-func (m *machine) execBranch(w *warp, pc int, activeMask, takenMask uint64) {
+// reconvergence, identically to the simulator. Target and reconvergence pcs
+// come pre-resolved in the micro-op.
+func (m *machine) execBranch(w *warp, u *passes.MicroOp, activeMask, takenMask uint64) {
 	top := &w.stack[len(w.stack)-1]
-	target := m.an.Targets[pc]
+	target := u.Target
 	switch takenMask {
 	case activeMask:
 		top.pc = target
 	case 0:
-		top.pc = pc + 1
+		top.pc++
 	default:
-		rpc := m.an.Reconv[pc]
+		pc := top.pc
+		rpc := u.Rpc
 		if rpc < 0 {
-			rpc = len(m.kernel.Insts)
+			rpc = len(m.prog)
 		}
 		top.pc = rpc
 		w.stack = append(w.stack,
@@ -455,87 +465,69 @@ func (m *machine) releaseBarrier() {
 	m.arrived = 0
 }
 
-// execLane evaluates one instruction for one lane. Returns false when a
-// fault was recorded.
-func (m *machine) execLane(w *warp, th *thread, pc, lane int, in *ptx.Inst) bool {
-	get := func(i int) uint64 {
-		return m.operand(th, in.Srcs[i], m.srcType(in, i))
+// srcVal reads one pre-resolved micro-op source for one lane: registers from
+// the lane's register file, constants as-decoded, specials computed.
+func (m *machine) srcVal(th *thread, s *passes.MicroSrc) uint64 {
+	switch s.Kind {
+	case passes.SrcReg:
+		return th.regs[s.Reg]
+	case passes.SrcConst:
+		return s.Const
+	case passes.SrcSpecial:
+		return uint64(m.special(th, s.Spec))
 	}
-	switch in.Op {
-	case ptx.OpSetp:
-		ok, err := sem.Compare(in.Cmp, in.Type, get(0), get(1))
-		if err != nil {
-			m.fault = &Fault{Kind: FaultExec, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane, Err: err}
-			return false
+	return 0
+}
+
+// execLane evaluates one micro-op for one lane. Returns false when a fault
+// was recorded. Statically-unsupported instructions arrive as MicroBad with
+// the evaluation error pre-computed, so the sem calls on the live paths
+// cannot fail.
+func (m *machine) execLane(w *warp, th *thread, pc, lane int, u *passes.MicroOp) bool {
+	switch u.Class {
+	case passes.MicroBad:
+		m.fault = &Fault{Kind: FaultExec, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane, Err: u.Err}
+		return false
+	case passes.MicroLdParam:
+		addr := u.MemOff
+		if u.MemBase != ptx.NoReg {
+			addr += th.regs[u.MemBase]
 		}
+		v := uint64(0)
+		for b := 0; b < int(u.Size); b++ {
+			if int(addr)+b < len(m.paramBlock) {
+				v |= uint64(m.paramBlock[int(addr)+b]) << (8 * b)
+			}
+		}
+		th.regs[u.Dst] = v
+		return true
+	case passes.MicroMem:
+		return m.execMemory(w, th, pc, lane, u)
+	}
+
+	// MicroALU.
+	switch u.Op {
+	case ptx.OpSetp:
+		ok, _ := sem.Compare(u.Cmp, u.Type, m.srcVal(th, &u.Src[0]), m.srcVal(th, &u.Src[1]))
 		v := uint64(0)
 		if ok {
 			v = 1
 		}
-		th.regs[in.Dst.Reg] = v
-		return true
+		th.regs[u.Dst] = v
 	case ptx.OpSelp:
-		if th.regs[in.Srcs[2].Reg] != 0 {
-			th.regs[in.Dst.Reg] = get(0)
+		if th.regs[u.Src[2].Reg] != 0 {
+			th.regs[u.Dst] = m.srcVal(th, &u.Src[0])
 		} else {
-			th.regs[in.Dst.Reg] = get(1)
+			th.regs[u.Dst] = m.srcVal(th, &u.Src[1])
 		}
-		return true
 	case ptx.OpCvt:
-		v, err := sem.Convert(in.Type, in.CvtFrom, get(0))
-		if err != nil {
-			m.fault = &Fault{Kind: FaultExec, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane, Err: err}
-			return false
-		}
-		th.regs[in.Dst.Reg] = v
-		return true
-	case ptx.OpLd, ptx.OpSt:
-		return m.execMemory(w, th, pc, lane, in)
+		v, _ := sem.Convert(u.Type, u.CvtFrom, m.srcVal(th, &u.Src[0]))
+		th.regs[u.Dst] = v
+	default:
+		v, _ := sem.ALU(u.Op, u.Type, m.srcVal(th, &u.Src[0]), m.srcVal(th, &u.Src[1]), m.srcVal(th, &u.Src[2]))
+		th.regs[u.Dst] = v
 	}
-	var a, b, c uint64
-	if len(in.Srcs) > 0 {
-		a = get(0)
-	}
-	if len(in.Srcs) > 1 {
-		b = get(1)
-	}
-	if len(in.Srcs) > 2 {
-		c = get(2)
-	}
-	v, err := sem.ALU(in.Op, in.Type, a, b, c)
-	if err != nil {
-		m.fault = &Fault{Kind: FaultExec, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane, Err: err}
-		return false
-	}
-	th.regs[in.Dst.Reg] = v
 	return true
-}
-
-// srcType is the type at which source operand i is evaluated (cvt reads its
-// source at CvtFrom, everything else at the instruction type).
-func (m *machine) srcType(in *ptx.Inst, i int) ptx.Type {
-	if in.Op == ptx.OpCvt && i == 0 {
-		return in.CvtFrom
-	}
-	return in.Type
-}
-
-// operand evaluates one source operand for one thread.
-func (m *machine) operand(th *thread, o ptx.Operand, t ptx.Type) uint64 {
-	switch o.Kind {
-	case ptx.OperandReg:
-		return th.regs[o.Reg]
-	case ptx.OperandImm, ptx.OperandFImm:
-		return sem.ImmBits(o, t)
-	case ptx.OperandSpecial:
-		return uint64(m.special(th, o.Spec))
-	case ptx.OperandSym:
-		if a, ok := m.kernel.Array(o.Sym); ok {
-			return m.symValue(o.Sym, a.Space)
-		}
-		return m.symValue(o.Sym, ptx.SpaceParam)
-	}
-	return 0
 }
 
 func (m *machine) special(th *thread, sp ptx.Special) int {
@@ -560,67 +552,32 @@ func (m *machine) special(th *thread, sp ptx.Special) int {
 	return 0
 }
 
-func (m *machine) resolveAddr(th *thread, mem ptx.Operand, space ptx.Space) uint64 {
-	var base uint64
-	switch {
-	case mem.Reg != ptx.NoReg:
-		base = th.regs[mem.Reg]
-	case mem.Sym != "":
-		base = m.symValue(mem.Sym, space)
-	}
-	return base + uint64(mem.Off)
-}
-
-func (m *machine) symValue(sym string, space ptx.Space) uint64 {
-	if space == ptx.SpaceParam {
-		off, _ := m.kernel.ParamOffset(sym)
-		return uint64(off)
-	}
-	if off, ok := m.kernel.ArrayOffset(sym); ok {
-		return uint64(off)
-	}
-	poff, _ := m.kernel.ParamOffset(sym)
-	return uint64(poff)
-}
-
 func inBounds(addr uint64, size int, limit int64) bool {
 	return uint64(size) <= uint64(limit) && addr <= uint64(limit)-uint64(size)
 }
 
 // execMemory performs one lane's load or store with the same bounds rules as
 // the simulator: null-page faults for global, declared-segment bounds for
-// local and shared, param reads from the param block.
-func (m *machine) execMemory(w *warp, th *thread, pc, lane int, in *ptx.Inst) bool {
-	memOp := in.Dst
-	if in.Op == ptx.OpLd {
-		memOp = in.Srcs[0]
+// local and shared. The address comes pre-decoded: an optional base register
+// plus a displacement with any symbol base already folded in.
+func (m *machine) execMemory(w *warp, th *thread, pc, lane int, u *passes.MicroOp) bool {
+	size := int(u.Size)
+	addr := u.MemOff
+	if u.MemBase != ptx.NoReg {
+		addr += th.regs[u.MemBase]
 	}
-	size := in.Type.Bytes()
-
-	if in.Space == ptx.SpaceParam {
-		addr := m.resolveAddr(th, memOp, in.Space)
-		v := uint64(0)
-		for b := 0; b < size; b++ {
-			if int(addr)+b < len(m.paramBlock) {
-				v |= uint64(m.paramBlock[int(addr)+b]) << (8 * b)
-			}
-		}
-		th.regs[in.Dst.Reg] = v
-		return true
-	}
-
-	addr := m.resolveAddr(th, memOp, in.Space)
-	switch in.Space {
+	load := u.Op == ptx.OpLd
+	switch u.Space {
 	case ptx.SpaceGlobal:
 		if addr < nullPageBytes {
 			m.fault = &Fault{Kind: FaultNullGlobal, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane,
-				Space: in.Space, Addr: addr, Size: size, Limit: nullPageBytes}
+				Space: u.Space, Addr: addr, Size: size, Limit: nullPageBytes}
 			return false
 		}
-		if in.Op == ptx.OpLd {
-			th.regs[in.Dst.Reg] = m.mem.Read(addr, size)
+		if load {
+			th.regs[u.Dst] = m.mem.Read(addr, size)
 		} else {
-			v := m.operand(th, in.Srcs[0], in.Type)
+			v := m.srcVal(th, &u.Src[0])
 			m.mem.Write(addr, v, size)
 			rec := Store{PC: pc, Block: m.blockID, Warp: w.id, Lane: lane, Value: v, Size: size}
 			for b := 0; b < size; b++ {
@@ -631,25 +588,25 @@ func (m *machine) execMemory(w *warp, th *thread, pc, lane int, in *ptx.Inst) bo
 		limit := int64(len(th.local))
 		if !inBounds(addr, size, limit) {
 			m.fault = &Fault{Kind: FaultMemOOB, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane,
-				Space: in.Space, Addr: addr, Size: size, Limit: limit}
+				Space: u.Space, Addr: addr, Size: size, Limit: limit}
 			return false
 		}
-		if in.Op == ptx.OpLd {
-			th.regs[in.Dst.Reg] = readLE(th.local[addr:], size)
+		if load {
+			th.regs[u.Dst] = readLE(th.local[addr:], size)
 		} else {
-			writeLE(th.local[addr:], m.operand(th, in.Srcs[0], in.Type), size)
+			writeLE(th.local[addr:], m.srcVal(th, &u.Src[0]), size)
 		}
 	case ptx.SpaceShared:
 		limit := m.kernel.SharedBytes()
 		if !inBounds(addr, size, limit) {
 			m.fault = &Fault{Kind: FaultMemOOB, PC: pc, Block: m.blockID, Warp: w.id, Lane: lane,
-				Space: in.Space, Addr: addr, Size: size, Limit: limit}
+				Space: u.Space, Addr: addr, Size: size, Limit: limit}
 			return false
 		}
-		if in.Op == ptx.OpLd {
-			th.regs[in.Dst.Reg] = readLE(m.shared[addr:], size)
+		if load {
+			th.regs[u.Dst] = readLE(m.shared[addr:], size)
 		} else {
-			writeLE(m.shared[addr:], m.operand(th, in.Srcs[0], in.Type), size)
+			writeLE(m.shared[addr:], m.srcVal(th, &u.Src[0]), size)
 		}
 	}
 	return true

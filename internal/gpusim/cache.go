@@ -1,7 +1,5 @@
 package gpusim
 
-import "sort"
-
 // cacheLine is one line of a set-associative cache.
 type cacheLine struct {
 	valid bool
@@ -91,6 +89,16 @@ func (c *cache) freeMSHRs() int {
 // order: two fills landing on the same cycle in the same set tie on the LRU
 // timestamp, so the insertion order decides which one a later eviction
 // keeps — left to map iteration it varies from run to run.
+// nextFill returns the cycle of the earliest pending fill completion, or 0
+// when nothing is in flight. The clock fast-forward uses it as a ceiling so
+// expire still observes every fill at its exact completion cycle.
+func (c *cache) nextFill() int64 {
+	if len(c.inflight) == 0 {
+		return 0
+	}
+	return c.nextDone
+}
+
 func (c *cache) expire(now int64) {
 	if len(c.inflight) == 0 || now < c.nextDone {
 		return
@@ -106,12 +114,19 @@ func (c *cache) expire(now int64) {
 			next = done
 		}
 	}
-	sort.Slice(c.expired, func(i, j int) bool {
-		if c.expired[i].done != c.expired[j].done {
-			return c.expired[i].done < c.expired[j].done
+	// Insertion sort on the (done, line) total order: batches are tiny
+	// (bounded by the MSHR count) and sort.Slice would allocate its
+	// reflect-based swapper on every drain — the hot loop stays alloc-free.
+	for i := 1; i < len(c.expired); i++ {
+		f := c.expired[i]
+		j := i - 1
+		for j >= 0 && (c.expired[j].done > f.done ||
+			(c.expired[j].done == f.done && c.expired[j].line > f.line)) {
+			c.expired[j+1] = c.expired[j]
+			j--
 		}
-		return c.expired[i].line < c.expired[j].line
-	})
+		c.expired[j+1] = f
+	}
 	for _, f := range c.expired {
 		c.insert(f.line, now)
 		delete(c.inflight, f.line)

@@ -1,21 +1,63 @@
 package gpusim_test
 
 import (
+	"errors"
 	"testing"
 
 	"crat/internal/emu"
+	"crat/internal/emu/ptxgen"
 	"crat/internal/gpusim"
+	"crat/internal/oracle"
+	"crat/internal/ptx"
 	"crat/internal/workloads"
 )
 
-// TestEmulatorCrossCheck runs every seed workload kernel through both
-// execution engines — the timing simulator and the functional emulator — on
-// identical memory images and requires byte-identical final global memory.
-// The two engines share sem for arithmetic, so any disagreement means they
-// ordered or rewrote execution differently; this pins the oracle's emulator
-// to the simulator's observable semantics.
+// crossCheck runs one launch through both execution engines — the SoA timing
+// simulator and the functional emulator — on identical memory images and
+// requires byte-identical final global memory and identical instruction
+// counts. Both engines interpret the same shared micro-op stream, so any
+// disagreement means one of them ordered, masked, or rewrote execution
+// differently.
+func crossCheck(t *testing.T, k *ptx.Kernel, grid, block int, setup func(*gpusim.Memory) []uint64) {
+	t.Helper()
+
+	simMem := gpusim.NewMemory()
+	simParams := setup(simMem)
+	sim, err := gpusim.NewSimulator(gpusim.FermiConfig(), simMem, gpusim.Launch{
+		Kernel: k, Grid: grid, Block: block, Params: simParams,
+	})
+	if err != nil {
+		t.Fatalf("simulator: %v", err)
+	}
+	stats, err := sim.Run()
+	if err != nil {
+		t.Fatalf("simulator run: %v", err)
+	}
+
+	emuMem := gpusim.NewMemory()
+	emuParams := setup(emuMem)
+	res, err := emu.Run(emu.Launch{
+		Kernel: k, Grid: grid, Block: block, Params: emuParams,
+	}, emuMem)
+	if err != nil {
+		t.Fatalf("emulator run: %v", err)
+	}
+
+	if stats.WarpInsts != res.WarpInsts {
+		t.Errorf("warp instruction counts disagree: sim=%d emu=%d", stats.WarpInsts, res.WarpInsts)
+	}
+	if stats.ThreadInsts != res.ThreadInsts {
+		t.Errorf("thread instruction counts disagree: sim=%d emu=%d", stats.ThreadInsts, res.ThreadInsts)
+	}
+	if addr, a, b, diff := simMem.DiffFirst(emuMem); diff {
+		t.Fatalf("engines disagree at global[%#x]: sim=%#x emu=%#x", addr, a, b)
+	}
+}
+
+// TestEmulatorCrossCheck cross-checks every seed workload kernel. The two
+// engines share sem for arithmetic; this pins the oracle's emulator to the
+// simulator's observable semantics.
 func TestEmulatorCrossCheck(t *testing.T) {
-	arch := gpusim.FermiConfig()
 	for _, p := range workloads.All() {
 		p := p
 		t.Run(p.Abbr, func(t *testing.T) {
@@ -29,29 +71,132 @@ func TestEmulatorCrossCheck(t *testing.T) {
 			app := p.AppWithInput(workloads.Input{
 				Name: "crosscheck", GridScale: float64(grid) / float64(p.Grid), DataScale: 1,
 			})
+			crossCheck(t, app.Kernel, app.Grid, app.Block, app.Setup)
+		})
+	}
+}
 
-			simMem := gpusim.NewMemory()
-			simParams := app.Setup(simMem)
-			sim, err := gpusim.NewSimulator(arch, simMem, gpusim.Launch{
-				Kernel: app.Kernel, Grid: app.Grid, Block: app.Block, Params: simParams,
+// TestPtxgenCrossCheck cross-checks a randomized kernel corpus: spill-heavy
+// chains, divergence, predication, bounded loops, shared staging — shapes no
+// seed workload pins down. Inputs come from the oracle's seeded generator so
+// the run doubles as a check that the oracle substrate and the simulator see
+// the same semantics.
+func TestPtxgenCrossCheck(t *testing.T) {
+	const grid = 2
+	for seed := int64(1); seed <= 24; seed++ {
+		seed := seed
+		t.Run(string(rune('a'+seed-1)), func(t *testing.T) {
+			t.Parallel()
+			k := ptxgen.Generate(ptxgen.Config{Seed: seed})
+			block := 64
+			crossCheck(t, k, grid, block, func(mem *gpusim.Memory) []uint64 {
+				in, params := oracle.GenInputs(k, grid, block, seed)
+				// GenInputs builds its own memory; replay its image into the
+				// engine's memory so both engines observe identical bytes.
+				*mem = *in.Clone()
+				return params
+			})
+		})
+	}
+}
+
+// TestFaultCrossCheck requires the two engines to agree on structured
+// faults: same classification, same instruction, and the same offending
+// lane — the per-lane attribution the SoA vectorization must preserve.
+func TestFaultCrossCheck(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *ptx.Kernel
+		simKind gpusim.FaultKind
+		emuKind emu.FaultKind
+	}{
+		{
+			name: "null-global",
+			build: func() *ptx.Kernel {
+				b := ptx.NewBuilder("xnull")
+				b.Param("out", ptx.U64)
+				addr := b.Reg(ptx.U64)
+				v := b.Reg(ptx.U32)
+				b.Mov(ptx.U64, addr, ptx.Imm(16))
+				b.Ld(ptx.SpaceGlobal, ptx.U32, v, ptx.MemReg(addr, 0))
+				b.St(ptx.SpaceGlobal, ptx.U32, ptx.MemReg(addr, 0), ptx.R(v))
+				b.Exit()
+				return b.Kernel()
+			},
+			simKind: gpusim.FaultNullGlobal,
+			emuKind: emu.FaultNullGlobal,
+		},
+		{
+			name: "shared-oob",
+			build: func() *ptx.Kernel {
+				// Lane l stores at shared[4*l]; the 16-byte segment faults
+				// first at lane 4.
+				b := ptx.NewBuilder("xsoob")
+				b.Param("out", ptx.U64)
+				b.SharedArray("stage", 16)
+				tid := b.Reg(ptx.U32)
+				off := b.Reg(ptx.U64)
+				b.MovSpec(tid, ptx.SpecTidX)
+				b.Shl(ptx.U32, tid, ptx.R(tid), ptx.Imm(2))
+				b.Cvt(ptx.U64, ptx.U32, off, ptx.R(tid))
+				b.St(ptx.SpaceShared, ptx.U32, ptx.MemReg(off, 0), ptx.R(tid))
+				b.Exit()
+				return b.Kernel()
+			},
+			simKind: gpusim.FaultMemOOB,
+			emuKind: emu.FaultMemOOB,
+		},
+		{
+			name: "exec",
+			build: func() *ptx.Kernel {
+				b := ptx.NewBuilder("xexec")
+				b.Param("out", ptx.U64)
+				r := b.Reg(ptx.U32)
+				b.Sfu(ptx.OpSin, ptx.U32, r, ptx.Imm(1))
+				b.Exit()
+				return b.Kernel()
+			},
+			simKind: gpusim.FaultExec,
+			emuKind: emu.FaultExec,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			k := tc.build()
+			launch := func() (int, int, []uint64) { return 1, 32, []uint64{0} }
+
+			grid, block, params := launch()
+			sim, err := gpusim.NewSimulator(gpusim.FermiConfig(), gpusim.NewMemory(), gpusim.Launch{
+				Kernel: k, Grid: grid, Block: block, Params: params,
 			})
 			if err != nil {
 				t.Fatalf("simulator: %v", err)
 			}
-			if _, err := sim.Run(); err != nil {
-				t.Fatalf("simulator run: %v", err)
+			_, err = sim.Run()
+			var sf *gpusim.Fault
+			if !errors.As(err, &sf) {
+				t.Fatalf("simulator returned %v, want a fault", err)
 			}
 
-			emuMem := gpusim.NewMemory()
-			emuParams := app.Setup(emuMem)
-			if _, err := emu.Run(emu.Launch{
-				Kernel: app.Kernel, Grid: app.Grid, Block: app.Block, Params: emuParams,
-			}, emuMem); err != nil {
-				t.Fatalf("emulator run: %v", err)
+			_, err = emu.Run(emu.Launch{
+				Kernel: k, Grid: grid, Block: block, Params: params,
+			}, gpusim.NewMemory())
+			var ef *emu.Fault
+			if !errors.As(err, &ef) {
+				t.Fatalf("emulator returned %v, want a fault", err)
 			}
 
-			if addr, a, b, diff := simMem.DiffFirst(emuMem); diff {
-				t.Fatalf("engines disagree at global[%#x]: sim=%#x emu=%#x", addr, a, b)
+			if sf.Kind != tc.simKind {
+				t.Errorf("simulator fault kind = %v, want %v", sf.Kind, tc.simKind)
+			}
+			if ef.Kind != tc.emuKind {
+				t.Errorf("emulator fault kind = %v, want %v", ef.Kind, tc.emuKind)
+			}
+			if sf.PC != ef.PC || sf.Warp != ef.Warp || sf.Lane != ef.Lane {
+				t.Errorf("fault location disagrees: sim pc=%d warp=%d lane=%d, emu pc=%d warp=%d lane=%d",
+					sf.PC, sf.Warp, sf.Lane, ef.PC, ef.Warp, ef.Lane)
 			}
 		})
 	}

@@ -1,88 +1,173 @@
 package gpusim
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 
+	"crat/internal/passes"
 	"crat/internal/ptx"
+	"crat/internal/sem"
 )
+
+// tlbPageFor resolves addr's backing page through the simulator's one-entry
+// TLB, falling back to the Memory's map on a key change.
+func (s *Simulator) tlbPageFor(addr uint64) []byte {
+	key := addr >> sem.PageBits
+	if key != s.tlbKey || s.tlbPage == nil {
+		s.tlbPage = s.mem.PageFor(addr)
+		s.tlbKey = key
+	}
+	return s.tlbPage
+}
+
+// memRead is sem.Memory.Read with the page lookup cached; page-straddling
+// accesses (possible with unaligned addresses) take the slow path. The
+// common widths go through encoding/binary, which the compiler turns into a
+// single little-endian load — bit-identical to the byte loop.
+func (s *Simulator) memRead(addr uint64, size int) uint64 {
+	off := addr & (sem.PageSize - 1)
+	if off+uint64(size) > sem.PageSize {
+		return s.mem.Read(addr, size)
+	}
+	p := s.tlbPageFor(addr)
+	switch size {
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(p[off:]))
+	case 8:
+		return binary.LittleEndian.Uint64(p[off:])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(p[off:]))
+	case 1:
+		return uint64(p[off])
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(p[off+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// memWrite is sem.Memory.Write with the page lookup cached.
+func (s *Simulator) memWrite(addr uint64, v uint64, size int) {
+	off := addr & (sem.PageSize - 1)
+	if off+uint64(size) > sem.PageSize {
+		s.mem.Write(addr, v, size)
+		return
+	}
+	p := s.tlbPageFor(addr)
+	switch size {
+	case 4:
+		binary.LittleEndian.PutUint32(p[off:], uint32(v))
+		return
+	case 8:
+		binary.LittleEndian.PutUint64(p[off:], v)
+		return
+	case 2:
+		binary.LittleEndian.PutUint16(p[off:], uint16(v))
+		return
+	case 1:
+		p[off] = byte(v)
+		return
+	}
+	for i := 0; i < size; i++ {
+		p[off+uint64(i)] = byte(v >> (8 * i))
+	}
+}
 
 // execute issues the warp's next instruction: functional effects happen
 // immediately (functional-first simulation), destination registers become
-// ready after the modeled latency.
+// ready after the modeled latency. The instruction comes pre-decoded from
+// the exec program — no per-issue operand or opcode switches — and applies
+// to the whole warp as vector operations over 32-lane register planes.
 func (s *Simulator) execute(w *warp) {
+	w.sbValid = false // ready-times are about to change; drop the memo
+	s.schedUntil[w.sched][w.schedIdx] = 0
 	top := &w.stack[len(w.stack)-1]
-	if top.pc >= len(s.kernel.Insts) {
+	if top.pc >= len(s.prog.ops) {
 		s.exitLanes(w, top.mask)
 		return
 	}
 	pc := top.pc
-	in := &s.kernel.Insts[pc]
+	u := &s.prog.ops[pc]
 
 	// Effective execution mask: active lanes whose guard holds.
-	execMask := uint64(0)
-	for l, th := range w.lanes {
-		if top.mask&(1<<uint(l)) == 0 {
-			continue
-		}
-		if in.Guard != ptx.NoReg {
-			p := th.regs[in.Guard] != 0
-			if p == in.GuardNeg {
-				continue
+	execMask := top.mask
+	if u.guard != ptx.NoReg {
+		g := w.plane(u.guard)
+		gm := uint64(0)
+		for m := execMask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			if (g[l] != 0) != u.guardNeg {
+				gm |= 1 << uint(l)
 			}
 		}
-		execMask |= 1 << uint(l)
+		execMask = gm
 	}
 
 	s.stats.WarpInsts++
 	s.stats.ThreadInsts += int64(bits.OnesCount64(execMask))
-	s.countMeta(in, execMask)
-	if s.launch.Trace != nil {
-		fmt.Fprintf(s.launch.Trace, "%8d w%03d b%03d pc=%-4d mask=%08x %s\n",
-			s.now, w.id, w.block.id, pc, execMask, ptx.FormatInst(s.kernel, pc))
+	if u.meta != ptx.MetaNone {
+		s.countMeta(u, execMask)
+	}
+	if s.tracing {
+		s.traceInst(w, pc, execMask)
 	}
 
-	switch in.Op {
-	case ptx.OpBra:
-		s.execBranch(w, pc, top.mask, execMask)
+	switch u.class {
+	case passes.MicroBra:
+		s.execBranch(w, u, top.mask, execMask)
 		return
-	case ptx.OpExit, ptx.OpRet:
+	case passes.MicroExit:
 		s.exitLanes(w, top.mask)
 		return
-	case ptx.OpBar:
+	case passes.MicroBar:
 		top.pc++
 		s.popReconverged(w)
 		w.barrier = true
+		// Park until release: releaseBarrier clears this (possibly within
+		// this very call, when w is the last arriver).
+		s.cacheStall(w, stallBarrier, farFuture)
 		w.block.arrived++
 		s.releaseBarrier(w.block)
 		return
-	case ptx.OpNop:
+	case passes.MicroNop:
 		top.pc++
 		s.popReconverged(w)
 		return
 	}
 
 	latency := int64(s.cfg.ALULat)
-	isMem := false
-	switch {
-	case in.Op.IsMemory() && in.Space != ptx.SpaceParam:
-		latency, isMem = s.execMemory(w, pc, in, execMask)
-	case in.Op.IsMemory(): // ld.param: constant-cache cost
-		s.execFunctional(w, pc, in, execMask)
-	case in.Op.IsSFU():
+	if u.sfu {
 		latency = int64(s.cfg.SFULat)
-		s.execFunctional(w, pc, in, execMask)
-	default:
-		s.execFunctional(w, pc, in, execMask)
+	}
+	isMem := false
+	switch u.class {
+	case passes.MicroMem:
+		latency, isMem = s.execMemory(w, pc, u, execMask)
+	case passes.MicroLdParam:
+		s.execLdParam(w, u, execMask)
+	case passes.MicroBad:
+		if execMask != 0 {
+			s.setFault(&Fault{
+				Kind: FaultExec, PC: pc,
+				Warp: w.id, Block: w.block.id, Lane: bits.TrailingZeros64(execMask),
+				Err: u.err,
+			})
+		}
+	default: // passes.MicroALU
+		s.execVec(w, u, execMask)
 	}
 
-	// Scoreboard the destination.
-	if in.Dst.Kind == ptx.OperandReg {
-		r := in.Dst.Reg
+	// Scoreboard the destination (regReady packs ready<<1 | isMem).
+	if u.dst != ptx.NoReg {
 		ready := s.now + latency
-		if ready > w.regReady[r] {
-			w.regReady[r] = ready
-			w.readyIsMem[r] = isMem
+		if ready > w.regReady[u.dst]>>1 {
+			packed := ready << 1
+			if isMem {
+				packed |= 1
+			}
+			w.regReady[u.dst] = packed
 		}
 	}
 
@@ -90,12 +175,88 @@ func (s *Simulator) execute(w *warp) {
 	s.popReconverged(w)
 }
 
+// traceInst emits one trace line for an issued instruction. Kept out of
+// execute so the tracing-off hot path carries only the s.tracing check —
+// no formatting, no argument marshaling, no allocation.
+//
+//go:noinline
+func (s *Simulator) traceInst(w *warp, pc int, execMask uint64) {
+	fmt.Fprintf(s.launch.Trace, "%8d w%03d b%03d pc=%-4d mask=%08x %s\n",
+		s.now, w.id, w.block.id, pc, execMask, ptx.FormatInst(s.kernel, pc))
+}
+
+// srcPlane resolves one pre-decoded source slot to a 32-lane plane:
+// registers and broadcast constants are already planes; special registers
+// are materialized into the per-slot scratch plane under the mask.
+func (s *Simulator) srcPlane(w *warp, sr *srcRef, slot int, mask uint64) *[32]uint64 {
+	switch sr.kind {
+	case srcReg:
+		return w.plane(sr.reg)
+	case srcSpec:
+		p := &s.specScratch[slot]
+		for m := mask; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			p[l] = uint64(s.specialVal(w, l, sr.spec))
+		}
+		return p
+	}
+	return sr.bcast
+}
+
+// execVec applies an ALU-class micro-op to the whole warp.
+func (s *Simulator) execVec(w *warp, u *execOp, execMask uint64) {
+	if execMask == 0 {
+		return
+	}
+	d := w.plane(u.dst)
+	a := s.srcPlane(w, &u.src[0], 0, execMask)
+	b := s.srcPlane(w, &u.src[1], 1, execMask)
+	c := s.srcPlane(w, &u.src[2], 2, execMask)
+	u.fn(d, a, b, c, execMask)
+}
+
+// specialVal evaluates a special register for one lane.
+func (s *Simulator) specialVal(w *warp, lane int, sp ptx.Special) int {
+	tid := w.baseTid + lane
+	switch sp {
+	case ptx.SpecTidX:
+		return tid
+	case ptx.SpecNTidX:
+		return s.launch.Block
+	case ptx.SpecCtaIdX:
+		return w.block.id
+	case ptx.SpecNCtaIdX:
+		return s.launch.Grid
+	case ptx.SpecLaneId:
+		return tid % s.cfg.WarpSize
+	case ptx.SpecWarpId:
+		return tid / s.cfg.WarpSize
+	case ptx.SpecTidY, ptx.SpecTidZ, ptx.SpecCtaIdY, ptx.SpecCtaIdZ:
+		return 0
+	case ptx.SpecNTidY, ptx.SpecNTidZ, ptx.SpecNCtaIdY, ptx.SpecNCtaIdZ:
+		return 1
+	}
+	return 0
+}
+
+// srcLane resolves a pre-decoded source slot for a single lane (the memory
+// path needs at most one value per lane, not a whole plane).
+func (s *Simulator) srcLane(w *warp, sr *srcRef, lane int) uint64 {
+	switch sr.kind {
+	case srcReg:
+		return w.plane(sr.reg)[lane]
+	case srcSpec:
+		return uint64(s.specialVal(w, lane, sr.spec))
+	}
+	return sr.bcast[0]
+}
+
 // countMeta updates dynamic spill-overhead statistics.
-func (s *Simulator) countMeta(in *ptx.Inst, execMask uint64) {
+func (s *Simulator) countMeta(u *execOp, execMask uint64) {
 	n := int64(bits.OnesCount64(execMask))
-	switch in.Meta {
+	switch u.meta {
 	case ptx.MetaSpillLoad, ptx.MetaSpillStore:
-		if in.Space == ptx.SpaceShared {
+		if u.space == ptx.SpaceShared {
 			s.stats.SpillSharedOps += n
 		} else {
 			s.stats.SpillLocalOps += n
@@ -107,18 +268,19 @@ func (s *Simulator) countMeta(in *ptx.Inst, execMask uint64) {
 
 // execBranch implements SIMT divergence with immediate-post-dominator
 // reconvergence.
-func (s *Simulator) execBranch(w *warp, pc int, activeMask, takenMask uint64) {
+func (s *Simulator) execBranch(w *warp, u *execOp, activeMask, takenMask uint64) {
 	top := &w.stack[len(w.stack)-1]
-	target := s.info.targets[pc]
+	target := u.target
 	switch takenMask {
 	case activeMask:
 		top.pc = target
 	case 0:
-		top.pc = pc + 1
+		top.pc++
 	default:
-		rpc := s.info.reconv[pc]
+		pc := top.pc
+		rpc := u.rpc
 		if rpc < 0 {
-			rpc = len(s.kernel.Insts)
+			rpc = len(s.prog.ops)
 		}
 		// Current entry waits at the reconvergence point; push the
 		// fallthrough then the taken path (taken executes first).
@@ -153,6 +315,8 @@ func (s *Simulator) exitLanes(w *warp, mask uint64) {
 	}
 	if len(w.stack) == 0 {
 		w.done = true
+		s.cacheStall(w, stallEmpty, farFuture) // never scanned again until re-enrolled
+		s.liveSched[w.sched]--
 		w.block.liveWarps--
 		s.releaseBarrier(w.block)
 		if w.block.liveWarps == 0 {
@@ -170,148 +334,39 @@ func (s *Simulator) releaseBarrier(bc *blockCtx) {
 	}
 	for _, w := range bc.warps {
 		w.barrier = false
+		if !w.done {
+			s.schedUntil[w.sched][w.schedIdx] = 0
+		}
 	}
 	bc.arrived = 0
 }
 
-// execFunctional evaluates a non-memory instruction on all executing lanes.
-// A lane-level execution error becomes a structured FaultExec instead of
-// killing the process; the remaining lanes are skipped since the warp's
-// state is already suspect.
-func (s *Simulator) execFunctional(w *warp, pc int, in *ptx.Inst, execMask uint64) {
-	for l, th := range w.lanes {
-		if execMask&(1<<uint(l)) == 0 {
-			continue
-		}
-		if err := s.execLane(w, th, pc, in); err != nil {
-			s.setFault(&Fault{
-				Kind: FaultExec, PC: pc,
-				Warp: w.id, Block: w.block.id, Lane: l,
-				Err: err,
-			})
-			return
-		}
+// execLdParam performs a constant-bank (param block) load per lane. Reads
+// past the parameter block yield zero bytes, as the old per-lane path did.
+func (s *Simulator) execLdParam(w *warp, u *execOp, execMask uint64) {
+	if execMask == 0 {
+		return
 	}
-}
-
-// srcVal evaluates source operand i of the instruction at pc for one thread.
-// Register and immediate operands — the overwhelming majority — resolve
-// without the operand switch: immediates were pre-encoded into kernelInfo at
-// the type each call site requests.
-func (s *Simulator) srcVal(w *warp, th *thread, pc int, in *ptx.Inst, i int) uint64 {
-	o := &in.Srcs[i]
-	switch o.Kind {
-	case ptx.OperandReg:
-		return th.regs[o.Reg]
-	case ptx.OperandImm, ptx.OperandFImm:
-		return s.info.imms[pc][i]
+	d := w.plane(u.dst)
+	var base *[32]uint64
+	if u.membase != ptx.NoReg {
+		base = w.plane(u.membase)
 	}
-	return s.operand(w, th, *o, in.Type)
-}
-
-// operand evaluates a source operand for one thread at the given type.
-func (s *Simulator) operand(w *warp, th *thread, o ptx.Operand, t ptx.Type) uint64 {
-	switch o.Kind {
-	case ptx.OperandReg:
-		return th.regs[o.Reg]
-	case ptx.OperandImm, ptx.OperandFImm:
-		return immBits(o, t)
-	case ptx.OperandSpecial:
-		return uint64(s.special(w, th, o.Spec))
-	case ptx.OperandSym:
-		// Address-of a shared/local array (space-relative).
-		if a, ok := s.kernel.Array(o.Sym); ok {
-			return s.symValue(o.Sym, a.Space)
-		}
-		return s.symValue(o.Sym, ptx.SpaceParam)
-	}
-	return 0
-}
-
-// special evaluates a special register for one thread.
-func (s *Simulator) special(w *warp, th *thread, sp ptx.Special) int {
-	switch sp {
-	case ptx.SpecTidX:
-		return th.tid
-	case ptx.SpecNTidX:
-		return s.launch.Block
-	case ptx.SpecCtaIdX:
-		return w.block.id
-	case ptx.SpecNCtaIdX:
-		return s.launch.Grid
-	case ptx.SpecLaneId:
-		return th.tid % s.cfg.WarpSize
-	case ptx.SpecWarpId:
-		return th.tid / s.cfg.WarpSize
-	case ptx.SpecTidY, ptx.SpecTidZ, ptx.SpecCtaIdY, ptx.SpecCtaIdZ:
-		return 0
-	case ptx.SpecNTidY, ptx.SpecNTidZ, ptx.SpecNCtaIdY, ptx.SpecNCtaIdZ:
-		return 1
-	}
-	return 0
-}
-
-// execLane evaluates one non-memory instruction for one thread.
-func (s *Simulator) execLane(w *warp, th *thread, pc int, in *ptx.Inst) error {
-	get := func(i int) uint64 {
-		return s.srcVal(w, th, pc, in, i)
-	}
-	switch in.Op {
-	case ptx.OpSetp:
-		ok, err := compare(in.Cmp, in.Type, get(0), get(1))
-		if err != nil {
-			return err
+	size := int(u.size)
+	for m := execMask; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		addr := u.memoff
+		if base != nil {
+			addr += base[l]
 		}
 		v := uint64(0)
-		if ok {
-			v = 1
-		}
-		th.regs[in.Dst.Reg] = v
-		return nil
-	case ptx.OpSelp:
-		p := th.regs[in.Srcs[2].Reg] != 0
-		if p {
-			th.regs[in.Dst.Reg] = get(0)
-		} else {
-			th.regs[in.Dst.Reg] = get(1)
-		}
-		return nil
-	case ptx.OpCvt:
-		// srcVal pre-encoded any immediate at CvtFrom; operand ignores the
-		// type for register/special/symbol sources.
-		v, err := convert(in.Type, in.CvtFrom, get(0))
-		if err != nil {
-			return err
-		}
-		th.regs[in.Dst.Reg] = v
-		return nil
-	case ptx.OpLd: // ld.param only reaches here
-		addr := s.resolveAddr(th, in.Srcs[0], in.Space)
-		v := uint64(0)
-		for b := 0; b < in.Type.Bytes(); b++ {
+		for b := 0; b < size; b++ {
 			if int(addr)+b < len(s.paramBlock) {
 				v |= uint64(s.paramBlock[int(addr)+b]) << (8 * b)
 			}
 		}
-		th.regs[in.Dst.Reg] = v
-		return nil
+		d[l] = v
 	}
-	var a, b, c uint64
-	if len(in.Srcs) > 0 {
-		a = get(0)
-	}
-	if len(in.Srcs) > 1 {
-		b = get(1)
-	}
-	if len(in.Srcs) > 2 {
-		c = get(2)
-	}
-	v, err := alu(in.Op, in.Type, a, b, c)
-	if err != nil {
-		return err
-	}
-	th.regs[in.Dst.Reg] = v
-	return nil
 }
 
 // nullPageBytes is the reserved low region of the global address space:
@@ -340,45 +395,50 @@ func inBounds(addr uint64, size int, limit int64) bool {
 // whether it counts as a memory dependence. Accesses outside the declared
 // local frame or shared segment (and global accesses inside the null page)
 // raise a structured fault instead of silently growing the backing store.
-func (s *Simulator) execMemory(w *warp, pc int, in *ptx.Inst, execMask uint64) (int64, bool) {
-	plan := s.planFor(w, pc, in)
+func (s *Simulator) execMemory(w *warp, pc int, u *execOp, execMask uint64) (int64, bool) {
+	plan := s.planFor(w, pc, u)
 	w.hasPlan = false // consumed; loops must not reuse stale addresses
 
 	// Functional access per lane.
-	mem := in.Dst
-	if in.Op == ptx.OpLd {
-		mem = in.Srcs[0]
+	size := int(u.size)
+	var base *[32]uint64
+	if u.membase != ptx.NoReg {
+		base = w.plane(u.membase)
 	}
-	size := in.Type.Bytes()
-	for l, th := range w.lanes {
-		if execMask&(1<<uint(l)) == 0 {
-			continue
+	var dst *[32]uint64
+	if u.load {
+		dst = w.plane(u.dst)
+	}
+	for m := execMask; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		addr := u.memoff
+		if base != nil {
+			addr += base[l]
 		}
-		addr := s.resolveAddr(th, mem, in.Space)
-		switch in.Space {
+		switch u.space {
 		case ptx.SpaceGlobal:
 			if addr < nullPageBytes {
-				s.memFault(FaultNullGlobal, w, pc, l, in.Space, addr, size, nullPageBytes)
+				s.memFault(FaultNullGlobal, w, pc, l, u.space, addr, size, nullPageBytes)
 				return int64(s.cfg.ALULat), false
 			}
-			if in.Op == ptx.OpLd {
-				th.regs[in.Dst.Reg] = s.mem.Read(addr, size)
+			if u.load {
+				dst[l] = s.memRead(addr, size)
 				s.stats.GlobalLoads++
 			} else {
-				s.mem.Write(addr, s.srcVal(w, th, pc, in, 0), size)
+				s.memWrite(addr, s.srcLane(w, &u.src[0], l), size)
 				s.stats.GlobalStores++
 			}
 		case ptx.SpaceLocal:
-			limit := int64(len(th.local))
+			limit := int64(len(w.locals[l]))
 			if !inBounds(addr, size, limit) {
-				s.memFault(FaultMemOOB, w, pc, l, in.Space, addr, size, limit)
+				s.memFault(FaultMemOOB, w, pc, l, u.space, addr, size, limit)
 				return int64(s.cfg.ALULat), false
 			}
-			if in.Op == ptx.OpLd {
-				th.regs[in.Dst.Reg] = readLE(th.local[addr:], size)
+			if u.load {
+				dst[l] = readLE(w.locals[l][addr:], size)
 				s.stats.LocalLoads++
 			} else {
-				writeLE(th.local[addr:], s.srcVal(w, th, pc, in, 0), size)
+				writeLE(w.locals[l][addr:], s.srcLane(w, &u.src[0], l), size)
 				s.stats.LocalStores++
 			}
 		case ptx.SpaceShared:
@@ -387,28 +447,28 @@ func (s *Simulator) execMemory(w *warp, pc int, in *ptx.Inst, execMask uint64) (
 			// but is never a legal target.
 			limit := s.kernel.SharedBytes()
 			if !inBounds(addr, size, limit) {
-				s.memFault(FaultMemOOB, w, pc, l, in.Space, addr, size, limit)
+				s.memFault(FaultMemOOB, w, pc, l, u.space, addr, size, limit)
 				return int64(s.cfg.ALULat), false
 			}
-			if in.Op == ptx.OpLd {
-				th.regs[in.Dst.Reg] = readLE(w.block.shared[addr:], size)
+			if u.load {
+				dst[l] = readLE(w.block.shared[addr:], size)
 				s.stats.SharedLoads++
 			} else {
-				writeLE(w.block.shared[addr:], s.srcVal(w, th, pc, in, 0), size)
+				writeLE(w.block.shared[addr:], s.srcLane(w, &u.src[0], l), size)
 				s.stats.SharedStores++
 			}
 		}
 	}
 
 	// Timing.
-	switch in.Space {
+	switch u.space {
 	case ptx.SpaceShared:
 		extra := int64(plan.conflicts - 1)
 		s.stats.BankConflictCycles += extra
 		s.memPipeFree = s.now + 1 + extra
 		return int64(s.cfg.SharedLat) + 2*extra, false
 	case ptx.SpaceGlobal:
-		if in.Op == ptx.OpSt {
+		if !u.load {
 			// Write-through, no-allocate: consume bandwidth, evict from L1.
 			for _, line := range plan.lines {
 				s.l1.evict(line)
@@ -417,7 +477,7 @@ func (s *Simulator) execMemory(w *warp, pc int, in *ptx.Inst, execMask uint64) (
 			s.memPipeFree = s.now + int64(len(plan.lines))
 			return int64(s.cfg.ALULat), false
 		}
-		if in.Bypass {
+		if u.bypass {
 			// ld.global.cg: skip the L1, fetch straight from L2/DRAM.
 			worst := int64(s.cfg.L2Lat)
 			for _, line := range plan.lines {
@@ -434,7 +494,7 @@ func (s *Simulator) execMemory(w *warp, pc int, in *ptx.Inst, execMask uint64) (
 	case ptx.SpaceLocal:
 		// Local loads and stores both allocate in L1 (write-back).
 		lat := s.accessCached(plan)
-		if in.Op == ptx.OpSt {
+		if !u.load {
 			return int64(s.cfg.ALULat), false
 		}
 		return lat, true

@@ -143,7 +143,7 @@ func TestFaultWatchdogStall(t *testing.T) {
 	}
 	for _, w := range sim.warps {
 		for r := range w.regReady {
-			w.regReady[r] = 1 << 60 // never ready, not memory-pending
+			w.regReady[r] = (1 << 60) << 1 // never ready, not memory-pending (packed)
 		}
 	}
 	_, err = sim.Run()

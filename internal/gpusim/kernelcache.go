@@ -10,19 +10,120 @@ import (
 )
 
 // kernelInfo is the per-kernel static analysis the simulator needs on every
-// launch: validation, the CFG's reconvergence points, branch targets, and
-// the per-instruction use/def sets consulted by the scoreboard each cycle.
+// launch: validation, the per-instruction use/def sets consulted by the
+// scoreboard each cycle, and the lowered exec program the SoA engine runs.
 // Computing it once per kernel (instead of once per NewSimulator) removes
 // the dominant setup cost of design-space sweeps, where the same kernel is
 // simulated at many TLPs.
 type kernelInfo struct {
-	err     error       // validation or CFG construction failure
-	nInsts  int         // len(k.Insts) at analysis time (staleness guard)
-	targets []int       // per-pc branch target instruction index (-1 = not a bra)
-	reconv  []int       // per-pc reconvergence pc for conditional branches (-1 = none)
-	uses    [][]ptx.Reg // per-pc registers read (guard, sources, memory bases)
-	defs    []ptx.Reg   // per-pc register written (ptx.NoReg = none)
-	imms    [][]uint64  // per-pc, per-src immediate encodings (unused slots are 0)
+	err    error       // validation or analysis failure
+	nInsts int         // len(k.Insts) at analysis time (staleness guard)
+	uses   [][]ptx.Reg // per-pc registers read (guard, sources, memory bases)
+	defs   []ptx.Reg   // per-pc register written (ptx.NoReg = none)
+	prog   *execProgram
+}
+
+// execProgram is the simulator's lowered form of the shared micro-op stream:
+// one execOp per pc with the vector evaluation function and broadcast
+// constant planes pre-built, so the issue loop does no per-instruction
+// decoding at all.
+type execProgram struct {
+	ops []execOp
+}
+
+// srcRef kinds (a compressed passes.SrcKind: absent sources are folded into
+// srcConst via the shared zero plane).
+type srcKind uint8
+
+const (
+	srcConst srcKind = iota // bcast plane (immediate, symbol, or zero)
+	srcReg                  // register plane
+	srcSpec                 // special register, materialized per issue
+)
+
+// srcRef is one pre-resolved source slot of an execOp.
+type srcRef struct {
+	kind  srcKind
+	reg   ptx.Reg
+	spec  ptx.Special
+	bcast *[32]uint64 // srcConst: the value broadcast across all lanes
+}
+
+// execOp is one lowered instruction. Hot fields (class, fn, the register
+// indices) sit first; the branch/fault fields trail.
+type execOp struct {
+	class    passes.MicroClass
+	guard    ptx.Reg // guard predicate register, or ptx.NoReg
+	guardNeg bool
+	load     bool // memory op is a load (ld); false = store
+	bypass   bool
+	sfu      bool
+	size     uint8 // memory access width in bytes
+	space    ptx.Space
+	meta     ptx.InstMeta
+	dst      ptx.Reg // destination register, or ptx.NoReg
+	membase  ptx.Reg // address base register, or ptx.NoReg
+	fn       vecFn   // MicroALU only
+	src      [3]srcRef
+	memoff   uint64
+	target   int // branch target pc (MicroBra)
+	rpc      int // reconvergence pc (-1 = none)
+	err      error
+}
+
+// buildExecProgram lowers the shared micro-op stream into the simulator's
+// runnable form. Broadcast planes for all constants live in one arena,
+// counted first so the pointers stay valid.
+func buildExecProgram(ms *passes.MicroStream) *execProgram {
+	nConst := 0
+	for i := range ms.Ops {
+		for j := range ms.Ops[i].Src {
+			if ms.Ops[i].Src[j].Kind == passes.SrcConst {
+				nConst++
+			}
+		}
+	}
+	bcArena := make([][32]uint64, nConst)
+	ci := 0
+	prog := &execProgram{ops: make([]execOp, len(ms.Ops))}
+	for i := range ms.Ops {
+		u := &ms.Ops[i]
+		e := &prog.ops[i]
+		e.class = u.Class
+		e.guard, e.guardNeg = u.Guard, u.GuardNeg
+		e.load = u.Op == ptx.OpLd
+		e.bypass = u.Bypass
+		e.sfu = u.SFU
+		e.size = u.Size
+		e.space = u.Space
+		e.meta = u.Meta
+		e.dst = u.Dst
+		e.membase = u.MemBase
+		e.memoff = u.MemOff
+		e.target, e.rpc = u.Target, u.Rpc
+		e.err = u.Err
+		for j := range u.Src {
+			switch u.Src[j].Kind {
+			case passes.SrcReg:
+				e.src[j] = srcRef{kind: srcReg, reg: u.Src[j].Reg}
+			case passes.SrcSpecial:
+				e.src[j] = srcRef{kind: srcSpec, spec: u.Src[j].Spec}
+			case passes.SrcConst:
+				p := &bcArena[ci]
+				ci++
+				for l := range p {
+					p[l] = u.Src[j].Const
+				}
+				e.src[j] = srcRef{kind: srcConst, bcast: p}
+			default:
+				e.src[j] = srcRef{kind: srcConst, bcast: &zeroPlane}
+			}
+		}
+		if u.Class == passes.MicroALU {
+			e.fn = vecFnFor(u)
+		}
+	}
+	return prog
 }
 
 // kernelInfoCache memoizes kernelInfo by kernel identity. Entries are built
@@ -79,10 +180,10 @@ func infoFor(k *ptx.Kernel) (*kernelInfo, error) {
 	return info, nil
 }
 
-// buildKernelInfo runs the once-per-kernel analyses: validation and the
-// simulator-specific immediate pre-encoding here, everything else
-// (branch targets, reconvergence, use/def) from the shared analysis
-// registry (internal/passes) the emulator also uses.
+// buildKernelInfo runs the once-per-kernel analyses: validation here,
+// everything else (use/def, the micro-op stream) from the shared analysis
+// registry (internal/passes) the emulator also uses, then the lowering of
+// the micro-op stream into the SoA engine's exec program.
 func buildKernelInfo(k *ptx.Kernel) *kernelInfo {
 	info := &kernelInfo{nInsts: len(k.Insts)}
 	if err := k.Validate(); err != nil {
@@ -94,36 +195,8 @@ func buildKernelInfo(k *ptx.Kernel) *kernelInfo {
 		info.err = err
 		return info
 	}
-	info.targets = an.Targets
-	info.reconv = an.Reconv
 	info.uses = an.Uses
 	info.defs = an.Defs
-
-	// Pre-encode immediate sources at the type each call site will request
-	// (OpCvt reads its source at CvtFrom), so the per-lane operand path
-	// becomes a table lookup.
-	n := len(k.Insts)
-	info.imms = make([][]uint64, n)
-	var immArena []uint64 // one backing array for all encodings
-	for i := range k.Insts {
-		in := &k.Insts[i]
-		if len(in.Srcs) == 0 {
-			continue
-		}
-		start := len(immArena)
-		for j := range in.Srcs {
-			o := &in.Srcs[j]
-			var v uint64
-			if o.Kind == ptx.OperandImm || o.Kind == ptx.OperandFImm {
-				t := in.Type
-				if in.Op == ptx.OpCvt && j == 0 {
-					t = in.CvtFrom
-				}
-				v = immBits(*o, t)
-			}
-			immArena = append(immArena, v)
-		}
-		info.imms[i] = immArena[start:len(immArena):len(immArena)]
-	}
+	info.prog = buildExecProgram(an.Micro)
 	return info
 }

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 
+	"crat/internal/passes"
 	"crat/internal/ptx"
 )
 
@@ -80,12 +82,6 @@ type simtEntry struct {
 	mask uint64
 }
 
-type thread struct {
-	regs  []uint64
-	local []byte
-	tid   int
-}
-
 type blockCtx struct {
 	id        int
 	slot      int
@@ -94,9 +90,9 @@ type blockCtx struct {
 	liveWarps int
 	arrived   int
 
-	// regArena/localArena back every thread's regs/local slices so a block
-	// costs two allocations instead of two per thread, and a retired block's
-	// storage can be cleared and reused by the next launch.
+	// regArena/localArena back every warp's register planes and lane local
+	// frames so a block costs two allocations instead of two per thread, and
+	// a retired block's storage can be cleared and reused by the next launch.
 	regArena   []uint64
 	localArena []byte
 }
@@ -109,20 +105,45 @@ type memPlan struct {
 	bytes     int64
 }
 
+// warp holds one warp's architectural state in structure-of-arrays form:
+// regs is nRegs consecutive 32-lane planes (register r of lane l lives at
+// regs[r*32+l]), so one vector op touches one contiguous plane per operand
+// instead of chasing 32 thread pointers.
 type warp struct {
-	id      int
-	sched   int
-	block   *blockCtx
-	lanes   []*thread
-	stack   []simtEntry
-	done    bool
-	barrier bool
+	id       int
+	sched    int
+	schedIdx int // position in schedWarps[sched] (and the stall-cache arrays)
+	block    *blockCtx
+	nLanes   int // populated lanes (< 32 in a partial tail warp)
+	baseTid  int // block-relative thread id of lane 0
+	regs     []uint64
+	locals   [][]byte // per-lane local (spill) frame; empty when kernel has none
+	stack    []simtEntry
+	done     bool
+	barrier  bool
 
-	regReady   []int64
-	readyIsMem []bool
+	// regReady[r] packs the register's ready cycle and its producer class
+	// into one word — ready<<1 | isMem — so the scoreboard scan touches one
+	// cache line stream instead of two parallel arrays.
+	regReady []int64
+
+	// Scoreboard memo: regReady only changes when this warp executes, so
+	// the per-cycle hazard scan over uses/defs is computed once per (issue
+	// attempt after an execute) and replayed as three compares.
+	// execute() invalidates it on entry.
+	sbValid    bool
+	sbDefIsMem bool
+	sbALU      int64 // latest ready time over non-memory blocked uses
+	sbMem      int64 // latest ready time over memory-blocked uses
+	sbDef      int64 // ready time of the written register
 
 	plan    memPlan
 	hasPlan bool
+}
+
+// plane returns register r's 32-lane plane.
+func (w *warp) plane(r ptx.Reg) *[32]uint64 {
+	return (*[32]uint64)(w.regs[int(r)*32:])
 }
 
 // Simulator executes one kernel launch on one SM.
@@ -133,7 +154,9 @@ type Simulator struct {
 	kernel *ptx.Kernel
 
 	paramBlock []byte
-	info       *kernelInfo // cached per-kernel analysis (see kernelcache.go)
+	info       *kernelInfo  // cached per-kernel analysis (see kernelcache.go)
+	prog       *execProgram // the lowered micro-op program (info.prog)
+	tracing    bool         // launch.Trace != nil, pre-checked for the hot path
 
 	now         int64
 	l1          *cache
@@ -147,9 +170,33 @@ type Simulator struct {
 	nextBlock  int
 	warps      []*warp
 	schedWarps [][]*warp // per-scheduler warp lists (launch order)
-	warpSeq    int
-	current    []*warp // per-scheduler greedy warp (GTO), nil when none
-	lrrNext    []int   // per-scheduler round-robin cursor
+	liveSched  []int     // per-scheduler count of not-done warps
+
+	// Per-scheduler stall cache, parallel to schedWarps: while
+	// now < schedUntil[sched][i], warp i cannot issue and schedReason holds
+	// why. The issue scan walks these flat arrays and only dereferences a
+	// warp (and runs the full hazard check) when its cached stall expired.
+	// Data stalls expire at a known time; barrier parks and warp exits are
+	// cached as "never" and cleared by releaseBarrier/re-enrollment;
+	// structural stalls are never cached. execute() resets its warp's entry.
+	schedUntil  [][]int64
+	schedReason [][]stallReason
+	lastStall   []stallReason // per-scheduler reason counted on the last no-issue cycle
+	idle        int64         // consecutive no-issue cycles (skipped cycles included)
+	warpSeq     int
+	current     []*warp // per-scheduler greedy warp (GTO), nil when none
+	lrrNext     []int   // per-scheduler round-robin cursor
+
+	// specScratch materializes special-register sources (one plane per
+	// source slot) without allocating.
+	specScratch [3][32]uint64
+
+	// One-entry global-memory TLB: coalesced warp accesses land on the same
+	// 64KB page lane after lane, so caching the last page slice turns the
+	// per-lane map lookup in sem.Memory into a compare. Page slices are
+	// stable for the life of the Memory (see sem.Memory.PageFor).
+	tlbKey  uint64
+	tlbPage []byte
 
 	maxConc int
 	stats   Stats
@@ -173,6 +220,9 @@ func NewSimulator(cfg Config, mem *Memory, launch Launch) (*Simulator, error) {
 	if launch.Grid <= 0 || launch.Block <= 0 {
 		return nil, fmt.Errorf("gpusim: grid=%d block=%d must be positive", launch.Grid, launch.Block)
 	}
+	if cfg.WarpSize <= 0 || cfg.WarpSize > 32 {
+		return nil, fmt.Errorf("gpusim: warp size %d unsupported (register planes are 32 lanes)", cfg.WarpSize)
+	}
 
 	shm := k.SharedBytes() + launch.ExtraSharedBytes
 	regs := launch.derivedRegs()
@@ -185,17 +235,23 @@ func NewSimulator(cfg Config, mem *Memory, launch Launch) (*Simulator, error) {
 	}
 
 	s := &Simulator{
-		cfg:        cfg,
-		mem:        mem,
-		launch:     launch,
-		kernel:     k,
-		info:       info,
-		l1:         newCache(cfg.L1),
-		l2:         newCache(cfg.L2),
-		maxConc:    conc,
-		current:    make([]*warp, cfg.NumSchedulers),
-		lrrNext:    make([]int, cfg.NumSchedulers),
-		schedWarps: make([][]*warp, cfg.NumSchedulers),
+		cfg:         cfg,
+		mem:         mem,
+		launch:      launch,
+		kernel:      k,
+		info:        info,
+		prog:        info.prog,
+		tracing:     launch.Trace != nil,
+		l1:          newCache(cfg.L1),
+		l2:          newCache(cfg.L2),
+		maxConc:     conc,
+		current:     make([]*warp, cfg.NumSchedulers),
+		lrrNext:     make([]int, cfg.NumSchedulers),
+		schedWarps:  make([][]*warp, cfg.NumSchedulers),
+		liveSched:   make([]int, cfg.NumSchedulers),
+		schedUntil:  make([][]int64, cfg.NumSchedulers),
+		schedReason: make([][]stallReason, cfg.NumSchedulers),
+		lastStall:   make([]stallReason, cfg.NumSchedulers),
 	}
 	s.freeSlots = make([]int, 0, conc)
 	for i := conc - 1; i >= 0; i-- {
@@ -231,10 +287,11 @@ func buildParamBlock(k *ptx.Kernel, vals []uint64) []byte {
 	return out
 }
 
-// cancelStride is how many cycles the simulator runs between context
-// checks: coarse enough that ctx.Err() never shows up in profiles, fine
-// enough (~microseconds of wall time) that cancellation and deadlines feel
-// immediate.
+// cancelStride is how many loop iterations the simulator runs between
+// context checks: coarse enough that ctx.Err() never shows up in profiles,
+// fine enough (~microseconds of wall time) that cancellation and deadlines
+// feel immediate. Iterations, not cycles: the clock fast-forward makes a
+// cycle-modulo test unreliable (a jump can leap over every multiple).
 const cancelStride = 4096
 
 // Run simulates until every block of the grid has completed and returns the
@@ -255,12 +312,14 @@ func (s *Simulator) RunCtx(ctx context.Context) (Stats, error) {
 	}
 	maxCycles := s.cfg.maxCycles()
 	stallWindow := s.cfg.stallWindow()
-	idle := int64(0)
+	s.idle = 0
+	poll := 0
 	for s.stats.BlocksCompleted < int64(s.launch.Grid) {
 		if s.fault != nil {
 			break
 		}
-		if s.now%cancelStride == 0 {
+		if poll--; poll <= 0 {
+			poll = cancelStride
 			if err := ctx.Err(); err != nil {
 				kind := FaultCanceled
 				if errors.Is(err, context.DeadlineExceeded) {
@@ -282,16 +341,16 @@ func (s *Simulator) RunCtx(ctx context.Context) (Stats, error) {
 			})
 			break
 		}
-		if s.step() {
-			idle = 0
-		} else {
-			idle++
+		if !s.step() {
 			// An idle machine cannot un-wedge itself without an external
 			// event, and the only external events are L1/MSHR expiries
 			// bounded by the DRAM latency. Probe the barrier state early
 			// (deadlocked warps never wake), and give anything else a full
-			// stall window before declaring the machine wedged.
-			if idle%64 == 0 && s.barrierDeadlocked() {
+			// stall window before declaring the machine wedged. step()
+			// maintains s.idle, counting fast-forwarded cycles too; jumps
+			// never happen in barrier-deadlock states (no cached expiry), so
+			// the modulo probe still runs while one is possible.
+			if s.idle%64 == 0 && s.barrierDeadlocked() {
 				s.setFault(&Fault{
 					Kind: FaultBarrierDeadlock, PC: -1, Warp: -1, Block: -1, Lane: -1,
 					Detail: "all live warps blocked at a barrier with no arrivals possible",
@@ -299,10 +358,10 @@ func (s *Simulator) RunCtx(ctx context.Context) (Stats, error) {
 				})
 				break
 			}
-			if idle >= stallWindow {
+			if s.idle >= stallWindow {
 				s.setFault(&Fault{
 					Kind: FaultWatchdogStall, PC: -1, Warp: -1, Block: -1, Lane: -1,
-					Detail: fmt.Sprintf("no instruction issued for %d cycles", idle),
+					Detail: fmt.Sprintf("no instruction issued for %d cycles", s.idle),
 					Warps:  s.warpStates(),
 				})
 				break
@@ -318,7 +377,7 @@ func (s *Simulator) RunCtx(ctx context.Context) (Stats, error) {
 }
 
 // launchBlock makes the next grid block resident, reusing a retired block
-// context (warps, threads, and their backing arenas) when one is available:
+// context (warps and their backing arenas) when one is available:
 // steady-state execution of a large grid then allocates nothing per block.
 func (s *Simulator) launchBlock() {
 	id := s.nextBlock
@@ -345,15 +404,16 @@ func (s *Simulator) launchBlock() {
 	nRegs := s.kernel.NumRegs()
 	localSize := int(s.kernel.LocalBytes())
 	nWarps := (s.launch.Block + s.cfg.WarpSize - 1) / s.cfg.WarpSize
-	bc.regArena = make([]uint64, nRegs*s.launch.Block)
+	bc.regArena = make([]uint64, nWarps*nRegs*32)
 	if localSize > 0 {
 		bc.localArena = make([]byte, localSize*s.launch.Block)
 	}
 	for wi := 0; wi < nWarps; wi++ {
 		w := &warp{
-			block:      bc,
-			regReady:   make([]int64, nRegs),
-			readyIsMem: make([]bool, nRegs),
+			block:    bc,
+			baseTid:  wi * s.cfg.WarpSize,
+			regs:     bc.regArena[wi*nRegs*32 : (wi+1)*nRegs*32 : (wi+1)*nRegs*32],
+			regReady: make([]int64, nRegs),
 		}
 		var mask uint64
 		for l := 0; l < s.cfg.WarpSize; l++ {
@@ -361,14 +421,10 @@ func (s *Simulator) launchBlock() {
 			if tid >= s.launch.Block {
 				break
 			}
-			th := &thread{
-				regs: bc.regArena[tid*nRegs : (tid+1)*nRegs : (tid+1)*nRegs],
-				tid:  tid,
-			}
 			if localSize > 0 {
-				th.local = bc.localArena[tid*localSize : (tid+1)*localSize : (tid+1)*localSize]
+				w.locals = append(w.locals, bc.localArena[tid*localSize:(tid+1)*localSize:(tid+1)*localSize])
 			}
-			w.lanes = append(w.lanes, th)
+			w.nLanes++
 			mask |= 1 << uint(l)
 		}
 		w.stack = []simtEntry{{pc: 0, rpc: len(s.kernel.Insts), mask: mask}}
@@ -386,7 +442,11 @@ func (s *Simulator) enrollWarp(w *warp) {
 	s.warpSeq++
 	w.block.liveWarps++
 	s.warps = append(s.warps, w)
+	w.schedIdx = len(s.schedWarps[w.sched])
 	s.schedWarps[w.sched] = append(s.schedWarps[w.sched], w)
+	s.schedUntil[w.sched] = append(s.schedUntil[w.sched], 0)
+	s.schedReason[w.sched] = append(s.schedReason[w.sched], stallNone)
+	s.liveSched[w.sched]++
 }
 
 // resetBlock rewinds a retired block context to pristine launch state: all
@@ -404,12 +464,9 @@ func (s *Simulator) resetBlock(bc *blockCtx, id, slot int) {
 		w.done = false
 		w.barrier = false
 		w.hasPlan = false
+		w.sbValid = false
 		clear(w.regReady)
-		clear(w.readyIsMem)
-		var mask uint64
-		for l := range w.lanes {
-			mask |= 1 << uint(l)
-		}
+		mask := uint64(1)<<uint(w.nLanes) - 1
 		w.stack = append(w.stack[:0], simtEntry{pc: 0, rpc: len(s.kernel.Insts), mask: mask})
 		s.enrollWarp(w)
 	}
@@ -433,12 +490,19 @@ func (s *Simulator) retireBlock(bc *blockCtx) {
 	s.warps = kept
 	for sched := range s.schedWarps {
 		ks := s.schedWarps[sched][:0]
-		for _, w := range s.schedWarps[sched] {
+		ku := s.schedUntil[sched][:0]
+		kr := s.schedReason[sched][:0]
+		for i, w := range s.schedWarps[sched] {
 			if w.block != bc {
+				w.schedIdx = len(ks)
 				ks = append(ks, w)
+				ku = append(ku, s.schedUntil[sched][i])
+				kr = append(kr, s.schedReason[sched][i])
 			}
 		}
 		s.schedWarps[sched] = ks
+		s.schedUntil[sched] = ku
+		s.schedReason[sched] = kr
 		s.current[sched] = nil
 		s.lrrNext[sched] = 0
 	}
@@ -461,83 +525,201 @@ func (s *Simulator) step() bool {
 			issued = true
 		}
 	}
+	if issued {
+		s.idle = 0
+	} else {
+		s.idle++
+		s.skipStalledCycles()
+	}
 	s.now++
 	return issued
+}
+
+// skipStalledCycles fast-forwards the clock over cycles that would replay
+// this cycle's no-issue verdict unchanged. When every live warp carries a
+// cached stall with a known expiry, nothing can issue — and therefore no
+// machine state changes — before the earliest of: a stall expiring, an
+// in-flight L1 fill completing (expire must observe it at its exact cycle),
+// or the livelock ceiling. Each skipped cycle charges the same per-scheduler
+// stall counter this cycle just charged, so Stats are bit-identical to
+// stepping cycle by cycle.
+func (s *Simulator) skipStalledCycles() {
+	h := s.stallHorizon()
+	if h >= farFuture {
+		return // a wedged machine must keep stepping for the watchdog
+	}
+	if n := s.l1.nextFill(); n > 0 && n < h {
+		h = n
+	}
+	if mc := s.cfg.maxCycles(); h > mc {
+		h = mc
+	}
+	d := h - s.now - 1
+	// Never jump past the stall watchdog's trip point: it must fire at the
+	// same cycle it would have when stepping.
+	if lim := s.cfg.stallWindow() - s.idle; d > lim {
+		d = lim
+	}
+	if d <= 0 {
+		return
+	}
+	for sched := range s.lastStall {
+		s.bumpStall(s.lastStall[sched], d)
+	}
+	s.now += d
+	s.idle += d
+}
+
+// stallHorizon returns the earliest cycle at which some live warp's cached
+// stall expires, or farFuture when at least one live warp has no cached
+// expiry (structural stall, fresh enrollment) — in which case the machine
+// must be re-evaluated every cycle.
+func (s *Simulator) stallHorizon() int64 {
+	h := farFuture
+	for sched, list := range s.schedWarps {
+		until := s.schedUntil[sched]
+		for i := range list {
+			u := until[i]
+			if u <= s.now {
+				if list[i].done {
+					continue
+				}
+				return farFuture
+			}
+			if u < h {
+				h = u
+			}
+		}
+	}
+	return h
+}
+
+// bumpStall charges n cycles to the stat bucket for reason r, mirroring the
+// per-cycle accounting in issueFrom.
+func (s *Simulator) bumpStall(r stallReason, n int64) {
+	switch r {
+	case stallCongestion:
+		s.stats.StallCongestion += n
+	case stallMemData:
+		s.stats.StallMemData += n
+	case stallALU:
+		s.stats.StallALU += n
+	case stallBarrier:
+		s.stats.StallBarrier += n
+	default:
+		s.stats.StallEmpty += n
+	}
 }
 
 // issueFrom lets scheduler sched pick and issue one warp, reporting whether
 // one issued. GTO stays on the current warp while it can issue, otherwise
 // falls back to the oldest ready warp; LRR rotates a cursor.
 func (s *Simulator) issueFrom(sched int) bool {
-	list := s.schedWarps[sched]
-	n := 0
-	for _, w := range list {
-		if !w.done {
-			n++
-		}
-	}
-	if n == 0 {
+	if s.liveSched[sched] == 0 {
 		s.stats.StallEmpty++
+		s.lastStall[sched] = stallEmpty
 		return false
 	}
+	list := s.schedWarps[sched]
+	until := s.schedUntil[sched]
+	reasons := s.schedReason[sched]
+	now := s.now
 
 	worst := stallEmpty
-	try := func(w *warp) bool {
-		if w.done {
-			return false
-		}
-		ok, reason := s.canIssue(w)
-		if ok {
-			s.execute(w)
-			s.current[sched] = w
-			s.stats.IssuedSlots++
-			return true
-		}
-		if reason < worst && reason != stallNone {
-			worst = reason
-		}
-		return false
-	}
-
+	// tryIssue runs the full hazard check for a warp; the scan loops below
+	// only reach it once the warp's cached stall has expired, so the common
+	// case (a stalled warp) costs one array compare with no call at all.
+	// Counting a warp's cached reason more than once is harmless: worst is a
+	// minimum.
 	if s.cfg.Scheduler == SchedGTO {
-		if cw := s.current[sched]; cw != nil && !cw.done {
-			if try(cw) {
-				return true
+		cw := s.current[sched]
+		if cw != nil && !cw.done {
+			i := cw.schedIdx
+			if now < until[i] {
+				if r := reasons[i]; r < worst {
+					worst = r
+				}
+			} else {
+				ok, r := s.tryIssue(list[i], sched)
+				if ok {
+					return true
+				}
+				if r < worst && r != stallNone {
+					worst = r
+				}
 			}
 		}
-		for _, w := range list {
-			if w == s.current[sched] {
+		for i := range list {
+			if now < until[i] {
+				if r := reasons[i]; r < worst {
+					worst = r
+				}
 				continue
 			}
-			if try(w) {
+			if list[i] == cw {
+				continue
+			}
+			ok, r := s.tryIssue(list[i], sched)
+			if ok {
 				return true
+			}
+			if r < worst && r != stallNone {
+				worst = r
 			}
 		}
 	} else {
 		off := s.lrrNext[sched] % len(list)
 		for i := 0; i < len(list); i++ {
-			w := list[(off+i)%len(list)]
-			if try(w) {
-				s.lrrNext[sched] = (off + i + 1) % len(list)
+			j := (off + i) % len(list)
+			if now < until[j] {
+				if r := reasons[j]; r < worst {
+					worst = r
+				}
+				continue
+			}
+			ok, r := s.tryIssue(list[j], sched)
+			if ok {
+				s.lrrNext[sched] = (j + 1) % len(list)
 				return true
+			}
+			if r < worst && r != stallNone {
+				worst = r
 			}
 		}
 	}
 
-	switch worst {
-	case stallCongestion:
-		s.stats.StallCongestion++
-	case stallMemData:
-		s.stats.StallMemData++
-	case stallALU:
-		s.stats.StallALU++
-	case stallBarrier:
-		s.stats.StallBarrier++
-	default:
-		s.stats.StallEmpty++
-	}
+	s.bumpStall(worst, 1)
+	s.lastStall[sched] = worst
 	s.current[sched] = nil
 	return false
+}
+
+// tryIssue runs the full hazard check for w on scheduler sched and executes
+// the instruction on success. On failure it returns the observed stall
+// reason (stallNone when the warp is already done).
+func (s *Simulator) tryIssue(w *warp, sched int) (bool, stallReason) {
+	if w.done {
+		return false, stallNone
+	}
+	ok, reason := s.canIssue(w)
+	if ok {
+		s.execute(w)
+		s.current[sched] = w
+		s.stats.IssuedSlots++
+		return true, stallNone
+	}
+	return false, reason
+}
+
+// cacheStall records that w cannot issue before `until` (exclusive) with the
+// given reason, so issueFrom's scan can replay the verdict without re-entering
+// canIssue. farFuture marks stalls with no self-expiry (barrier, exit); they
+// are cleared by releaseBarrier or re-enrollment.
+const farFuture = int64(1) << 62
+
+func (s *Simulator) cacheStall(w *warp, r stallReason, until int64) {
+	s.schedUntil[w.sched][w.schedIdx] = until
+	s.schedReason[w.sched][w.schedIdx] = r
 }
 
 // canIssue checks structural and data hazards for the warp's next
@@ -550,44 +732,62 @@ func (s *Simulator) canIssue(w *warp) (bool, stallReason) {
 		return false, stallBarrier
 	}
 	top := &w.stack[len(w.stack)-1]
-	if top.pc >= len(s.kernel.Insts) {
+	pc := top.pc
+	if pc >= len(s.prog.ops) {
 		// Defensive: treat running off the end as exit.
 		return true, stallNone
 	}
-	in := &s.kernel.Insts[top.pc]
 
-	// Scoreboard: all read and written registers must be ready. The use/def
-	// sets come precomputed from the kernel-analysis cache — this check runs
-	// every cycle for every stalled warp and must not re-derive them.
-	memBlocked := false
-	for _, r := range s.info.uses[top.pc] {
-		if w.regReady[r] > s.now {
-			if w.readyIsMem[r] {
-				memBlocked = true
-			} else {
-				return false, stallALU
+	// Scoreboard: all read and written registers must be ready. The warp's
+	// register ready-times only change when it executes, so the scan over
+	// the precomputed use/def sets is memoized into three timestamps and
+	// replayed as compares on every subsequent stalled cycle.
+	if !w.sbValid {
+		var aluT, memT int64
+		for _, r := range s.info.uses[pc] {
+			p := w.regReady[r]
+			if p&1 != 0 {
+				if t := p >> 1; t > memT {
+					memT = t
+				}
+			} else if t := p >> 1; t > aluT {
+				aluT = t
 			}
 		}
+		w.sbALU, w.sbMem = aluT, memT
+		w.sbDef, w.sbDefIsMem = 0, false
+		if r := s.info.defs[pc]; r != ptx.NoReg {
+			p := w.regReady[r]
+			w.sbDef = p >> 1
+			w.sbDefIsMem = p&1 != 0
+		}
+		w.sbValid = true
 	}
-	if memBlocked {
+	if w.sbALU > s.now {
+		s.cacheStall(w, stallALU, w.sbALU)
+		return false, stallALU
+	}
+	if w.sbMem > s.now {
+		s.cacheStall(w, stallMemData, w.sbMem)
 		return false, stallMemData
 	}
-	if r := s.info.defs[top.pc]; r != ptx.NoReg {
-		if w.regReady[r] > s.now {
-			if w.readyIsMem[r] {
-				return false, stallMemData
-			}
-			return false, stallALU
+	if w.sbDef > s.now {
+		r := stallALU
+		if w.sbDefIsMem {
+			r = stallMemData
 		}
+		s.cacheStall(w, r, w.sbDef)
+		return false, r
 	}
 
-	if in.Op.IsMemory() && in.Space != ptx.SpaceParam {
+	u := &s.prog.ops[pc]
+	if u.class == passes.MicroMem {
 		if s.memPipeFree > s.now {
 			return false, stallCongestion
 		}
-		plan := s.planFor(w, top.pc, in)
-		needsMSHR := in.Space == ptx.SpaceLocal ||
-			(in.Space == ptx.SpaceGlobal && in.Op == ptx.OpLd && !in.Bypass)
+		plan := s.planFor(w, pc, u)
+		needsMSHR := u.space == ptx.SpaceLocal ||
+			(u.space == ptx.SpaceGlobal && u.load && !u.bypass)
 		if needsMSHR {
 			// Count the new misses this access would create; reject when
 			// the MSHR file cannot absorb them.
@@ -608,7 +808,7 @@ func (s *Simulator) canIssue(w *warp) (bool, stallReason) {
 // planFor computes (and caches) the memory transactions of the instruction
 // at pc for warp w. Buffers are reused across calls to keep the hot path
 // allocation-free.
-func (s *Simulator) planFor(w *warp, pc int, in *ptx.Inst) *memPlan {
+func (s *Simulator) planFor(w *warp, pc int, u *execOp) *memPlan {
 	if w.hasPlan && w.plan.pc == pc {
 		return &w.plan
 	}
@@ -619,7 +819,7 @@ func (s *Simulator) planFor(w *warp, pc int, in *ptx.Inst) *memPlan {
 	w.plan.conflicts = 0
 	w.plan.bytes = 0
 	plan := &w.plan
-	size := in.Type.Bytes()
+	size := uint64(u.size)
 
 	addLine := func(line uint64) {
 		for _, l := range plan.lines {
@@ -638,38 +838,40 @@ func (s *Simulator) planFor(w *warp, pc int, in *ptx.Inst) *memPlan {
 		plan.words = append(plan.words, word)
 	}
 
-	mem := in.Dst
-	if in.Op == ptx.OpLd {
-		mem = in.Srcs[0]
+	var base *[32]uint64
+	if u.membase != ptx.NoReg {
+		base = w.plane(u.membase)
 	}
-	for l, th := range w.lanes {
-		if top.mask&(1<<uint(l)) == 0 {
+	var guard *[32]uint64
+	if u.guard != ptx.NoReg {
+		guard = w.plane(u.guard)
+	}
+	for m := top.mask; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		if guard != nil && (guard[l] != 0) == u.guardNeg {
 			continue
 		}
-		if in.Guard != ptx.NoReg {
-			p := th.regs[in.Guard] != 0
-			if p == in.GuardNeg {
-				continue
-			}
+		addr := u.memoff
+		if base != nil {
+			addr += base[l]
 		}
-		addr := s.resolveAddr(th, mem, in.Space)
 		plan.bytes += int64(size)
-		switch in.Space {
+		switch u.space {
 		case ptx.SpaceGlobal:
-			for b := uint64(0); b < uint64(size); b += 4 {
+			for b := uint64(0); b < size; b += 4 {
 				addLine(s.l1.lineAddr(addr + b))
 			}
 		case ptx.SpaceLocal:
 			// Interleaved physical layout: word w of thread t lives at
 			// localBase + (w*MaxThreads + slotThread)*4.
-			slotThread := uint64(w.block.slot*s.launch.Block + th.tid)
-			for b := uint64(0); b < uint64(size); b += 4 {
+			slotThread := uint64(w.block.slot*s.launch.Block + w.baseTid + l)
+			for b := uint64(0); b < size; b += 4 {
 				word := (addr + b) / 4
 				phys := localBase + (word*uint64(s.cfg.MaxThreadsPerSM)+slotThread)*4
 				addLine(s.l1.lineAddr(phys))
 			}
 		case ptx.SpaceShared:
-			for b := uint64(0); b < uint64(size); b += 4 {
+			for b := uint64(0); b < size; b += 4 {
 				addWord((addr + b) / 4)
 			}
 		}
@@ -690,32 +892,4 @@ func (s *Simulator) planFor(w *warp, pc int, in *ptx.Inst) *memPlan {
 	}
 	w.hasPlan = true
 	return plan
-}
-
-// resolveAddr computes the effective (space-relative) address of a memory
-// operand for one thread.
-func (s *Simulator) resolveAddr(th *thread, mem ptx.Operand, space ptx.Space) uint64 {
-	var base uint64
-	switch {
-	case mem.Reg != ptx.NoReg:
-		base = th.regs[mem.Reg]
-	case mem.Sym != "":
-		base = s.symValue(mem.Sym, space)
-	}
-	return base + uint64(mem.Off)
-}
-
-// symValue resolves an array or parameter symbol to its space-relative
-// address.
-func (s *Simulator) symValue(sym string, space ptx.Space) uint64 {
-	if space == ptx.SpaceParam {
-		off, _ := s.kernel.ParamOffset(sym)
-		return uint64(off)
-	}
-	off, ok := s.kernel.ArrayOffset(sym)
-	if ok {
-		return uint64(off)
-	}
-	poff, _ := s.kernel.ParamOffset(sym)
-	return uint64(poff)
 }

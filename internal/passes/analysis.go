@@ -28,6 +28,7 @@ const (
 	KindLoopDepth
 	KindReconvergence
 	KindUseDef
+	KindMicroOps
 	kindCount
 )
 
@@ -48,6 +49,8 @@ func (k Kind) String() string {
 		return "reconvergence"
 	case KindUseDef:
 		return "use-def"
+	case KindMicroOps:
+		return "micro-ops"
 	}
 	return "analysis(?)"
 }
@@ -55,7 +58,13 @@ func (k Kind) String() string {
 // derivedFromCFG lists every kind invalidated alongside the CFG.
 var derivedFromCFG = []Kind{
 	KindLiveness, KindDominators, KindPostDominators, KindLoopDepth, KindReconvergence,
+	KindMicroOps,
 }
+
+// derivedFromUseDef lists kinds that bake per-instruction register operands
+// and so go stale with use-def even when control flow is untouched (e.g. a
+// register-renaming rewrite).
+var derivedFromUseDef = []Kind{KindMicroOps}
 
 // UseDef is the per-instruction register access summary the simulator's
 // scoreboard and the shared kernel analyses consume: for each pc, the
@@ -92,6 +101,7 @@ type AnalysisManager struct {
 	depth    []int
 	reconv   *Reconvergence
 	usedef   *UseDef
+	micro    *MicroStream
 
 	// Computes counts analysis builds by kind; the caching tests assert an
 	// unchanged kernel never pays for the same analysis twice.
@@ -126,8 +136,8 @@ func (am *AnalysisManager) InvalidateAll() {
 	for i := range am.valid {
 		am.valid[i] = false
 	}
-	am.graph, am.liveness, am.doms, am.pdoms, am.depth, am.reconv, am.usedef =
-		nil, nil, nil, nil, nil, nil, nil
+	am.graph, am.liveness, am.doms, am.pdoms, am.depth, am.reconv, am.usedef, am.micro =
+		nil, nil, nil, nil, nil, nil, nil, nil
 }
 
 // Invalidate drops the named analyses plus everything derived from them
@@ -156,12 +166,19 @@ func (am *AnalysisManager) Invalidate(kinds ...Kind) {
 			am.reconv = nil
 		case KindUseDef:
 			am.usedef = nil
+		case KindMicroOps:
+			am.micro = nil
 		}
 	}
 	for _, k := range kinds {
 		drop(k)
 		if k == KindCFG {
 			for _, d := range derivedFromCFG {
+				drop(d)
+			}
+		}
+		if k == KindUseDef {
+			for _, d := range derivedFromUseDef {
 				drop(d)
 			}
 		}
@@ -188,6 +205,8 @@ func (am *AnalysisManager) Require(kinds ...Kind) error {
 			_, err = am.Reconvergence()
 		case KindUseDef:
 			am.UseDef()
+		case KindMicroOps:
+			_, err = am.MicroOps()
 		}
 		if err != nil {
 			return err

@@ -1,0 +1,295 @@
+package passes
+
+import (
+	"fmt"
+
+	"crat/internal/ptx"
+	"crat/internal/sem"
+)
+
+// The micro-op stream is the shared pre-decoded execution form of a kernel:
+// every ptx.Inst is lowered once into a dense, branch-free MicroOp with its
+// operand kinds resolved, immediates pre-encoded at their consumption type,
+// symbol addresses pre-folded, and statically-unsupported instructions
+// marked as fault ops. Both execution engines consume it — the cycle-level
+// simulator (internal/gpusim) lowers it further into its SoA vector plan,
+// the functional emulator (internal/emu) interprets it directly — so the
+// per-instruction operand switch ladders run once per kernel instead of
+// once per lane per dynamic instruction.
+
+// SrcKind discriminates pre-resolved micro-op source slots.
+type SrcKind uint8
+
+// Source slot kinds.
+const (
+	SrcNone    SrcKind = iota
+	SrcReg             // read of a register (SoA plane in the simulator)
+	SrcConst           // pre-encoded immediate or pre-folded symbol address
+	SrcSpecial         // lane/launch-dependent special register
+)
+
+// MicroSrc is one pre-resolved source operand.
+type MicroSrc struct {
+	Kind  SrcKind
+	Reg   ptx.Reg     // SrcReg
+	Const uint64      // SrcConst: bits at the consumption type
+	Spec  ptx.Special // SrcSpecial
+}
+
+// MicroClass is the executor dispatch class of a micro-op.
+type MicroClass uint8
+
+// Micro-op classes.
+const (
+	MicroNop     MicroClass = iota
+	MicroBra                // branch (Target/Rpc pre-resolved)
+	MicroExit               // exit / ret
+	MicroBar                // bar.sync
+	MicroALU                // vectorizable compute (arith/logic/mov/cvt/setp/selp)
+	MicroMem                // ld/st to global, local, or shared memory
+	MicroLdParam            // ld.param (constant-bank read)
+	MicroBad                // statically unsupported: faults when executed
+)
+
+// MicroOp is one pre-decoded instruction. The original opcode, type, and
+// comparison survive so executors can pick a typed evaluation kernel; the
+// operand work (kind switches, immediate encoding, symbol resolution) is
+// already done.
+type MicroOp struct {
+	Class   MicroClass
+	Op      ptx.Opcode
+	Type    ptx.Type
+	CvtFrom ptx.Type
+	Cmp     ptx.CmpOp
+
+	Guard    ptx.Reg // guard predicate register, or ptx.NoReg
+	GuardNeg bool
+
+	Dst  ptx.Reg // destination register, or ptx.NoReg
+	NSrc uint8
+	Src  [3]MicroSrc
+
+	// Memory access (MicroMem / MicroLdParam).
+	Space   ptx.Space
+	Size    uint8   // access width in bytes
+	MemBase ptx.Reg // address base register, or ptx.NoReg
+	MemOff  uint64  // displacement with any symbol base pre-folded
+	Bypass  bool
+
+	SFU  bool // executes on the special-function unit
+	Meta ptx.InstMeta
+
+	Target int // branch target pc (MicroBra)
+	Rpc    int // reconvergence pc for conditional branches (-1 = none)
+
+	// Err is the static evaluation error of a MicroBad op, raised as an
+	// exec fault on the first executing lane.
+	Err error
+}
+
+// MicroStream is the per-kernel micro-op array, indexed by pc.
+type MicroStream struct {
+	Ops []MicroOp
+}
+
+// MicroOps returns the kernel's micro-op stream, lowering it on first use.
+// It derives from the reconvergence analysis (branch targets baked into
+// branch ops) and from the instruction list itself, so it is invalidated
+// with the CFG and with use-def.
+func (am *AnalysisManager) MicroOps() (*MicroStream, error) {
+	if am.valid[KindMicroOps] {
+		return am.micro, nil
+	}
+	rc, err := am.Reconvergence()
+	if err != nil {
+		return nil, err
+	}
+	am.micro = lowerMicroOps(am.k, rc)
+	am.valid[KindMicroOps] = true
+	am.Computes[KindMicroOps]++
+	return am.micro, nil
+}
+
+// symConst resolves an array or parameter symbol to its kernel-static
+// space-relative address, mirroring the executors' symValue: arrays resolve
+// inside their declared space, anything else falls back to the param block.
+func symConst(k *ptx.Kernel, sym string, space ptx.Space) uint64 {
+	if space == ptx.SpaceParam {
+		off, _ := k.ParamOffset(sym)
+		return uint64(off)
+	}
+	if off, ok := k.ArrayOffset(sym); ok {
+		return uint64(off)
+	}
+	poff, _ := k.ParamOffset(sym)
+	return uint64(poff)
+}
+
+// srcSlot pre-resolves one source operand at its consumption type t.
+func srcSlot(k *ptx.Kernel, o ptx.Operand, t ptx.Type) MicroSrc {
+	switch o.Kind {
+	case ptx.OperandReg:
+		return MicroSrc{Kind: SrcReg, Reg: o.Reg}
+	case ptx.OperandImm, ptx.OperandFImm:
+		return MicroSrc{Kind: SrcConst, Const: sem.ImmBits(o, t)}
+	case ptx.OperandSpecial:
+		return MicroSrc{Kind: SrcSpecial, Spec: o.Spec}
+	case ptx.OperandSym:
+		// Address-of a shared/local array (space-relative), or a param.
+		if a, ok := k.Array(o.Sym); ok {
+			return MicroSrc{Kind: SrcConst, Const: symConst(k, o.Sym, a.Space)}
+		}
+		return MicroSrc{Kind: SrcConst, Const: symConst(k, o.Sym, ptx.SpaceParam)}
+	}
+	return MicroSrc{Kind: SrcConst} // evaluates to 0, as the operand switch did
+}
+
+// memAddress pre-resolves a memory operand: a register base plus a
+// displacement with any symbol base folded in.
+func memAddress(k *ptx.Kernel, mem ptx.Operand, space ptx.Space) (ptx.Reg, uint64) {
+	base := uint64(0)
+	reg := ptx.NoReg
+	switch {
+	case mem.Reg != ptx.NoReg:
+		reg = mem.Reg
+	case mem.Sym != "":
+		base = symConst(k, mem.Sym, space)
+	}
+	return reg, base + uint64(mem.Off)
+}
+
+// probeALU determines statically whether sem supports an (op, type)
+// combination: sem's only evaluation errors are "unsupported" defaults that
+// do not depend on operand values, so probing with zeros is exact.
+func probeALU(op ptx.Opcode, t ptx.Type) error {
+	_, err := sem.ALU(op, t, 0, 0, 0)
+	return err
+}
+
+// lowerMicroOps decodes every instruction of k into its micro-op.
+func lowerMicroOps(k *ptx.Kernel, rc *Reconvergence) *MicroStream {
+	ops := make([]MicroOp, len(k.Insts))
+	for pc := range k.Insts {
+		in := &k.Insts[pc]
+		u := &ops[pc]
+		u.Op = in.Op
+		u.Type = in.Type
+		u.CvtFrom = in.CvtFrom
+		u.Cmp = in.Cmp
+		u.Guard = in.Guard
+		u.GuardNeg = in.GuardNeg
+		u.Meta = in.Meta
+		u.Dst = ptx.NoReg
+		u.Rpc = -1
+		if in.Dst.Kind == ptx.OperandReg {
+			u.Dst = in.Dst.Reg
+		}
+
+		switch in.Op {
+		case ptx.OpNop:
+			u.Class = MicroNop
+			continue
+		case ptx.OpBra:
+			u.Class = MicroBra
+			u.Target = rc.Targets[pc]
+			u.Rpc = rc.Reconv[pc]
+			continue
+		case ptx.OpExit, ptx.OpRet:
+			u.Class = MicroExit
+			continue
+		case ptx.OpBar:
+			u.Class = MicroBar
+			continue
+		}
+
+		if in.Op.IsMemory() {
+			// Malformed shapes (no address/value operand, non-register load
+			// destination) become fault ops instead of decode panics:
+			// lowering may run before validation.
+			if len(in.Srcs) == 0 {
+				u.Class = MicroBad
+				u.Err = fmt.Errorf("sem: %v missing operand", in.Op)
+				continue
+			}
+			if in.Op == ptx.OpLd && u.Dst == ptx.NoReg {
+				u.Class = MicroBad
+				u.Err = fmt.Errorf("sem: %v destination is not a register", in.Op)
+				continue
+			}
+			mem := in.Dst
+			if in.Op == ptx.OpLd {
+				mem = in.Srcs[0]
+			} else {
+				// Store: Srcs[0] is the stored value.
+				u.Src[0] = srcSlot(k, in.Srcs[0], in.Type)
+				u.NSrc = 1
+			}
+			u.Space = in.Space
+			u.Size = uint8(in.Type.Bytes())
+			u.MemBase, u.MemOff = memAddress(k, mem, in.Space)
+			u.Bypass = in.Bypass
+			if in.Space == ptx.SpaceParam {
+				if in.Op == ptx.OpSt {
+					// st.param has no hardware meaning; the lane evaluator
+					// rejected it through the ALU path, so keep that error.
+					u.Class = MicroBad
+					u.Err = probeALU(in.Op, in.Type)
+					continue
+				}
+				u.Class = MicroLdParam
+				continue
+			}
+			u.Class = MicroMem
+			continue
+		}
+
+		// Vectorizable compute: pre-resolve each source at the type the
+		// evaluator reads it (cvt reads its source at CvtFrom).
+		u.Class = MicroALU
+		u.SFU = in.Op.IsSFU()
+		n := len(in.Srcs)
+		if n > 3 {
+			n = 3
+		}
+		u.NSrc = uint8(n)
+		for i := 0; i < n; i++ {
+			t := in.Type
+			if in.Op == ptx.OpCvt && i == 0 {
+				t = in.CvtFrom
+			}
+			u.Src[i] = srcSlot(k, in.Srcs[i], t)
+		}
+
+		switch in.Op {
+		case ptx.OpSetp:
+			if _, err := sem.Compare(in.Cmp, in.Type, 0, 0); err != nil {
+				u.Class = MicroBad
+				u.Err = err
+			}
+		case ptx.OpSelp:
+			// The lane evaluators read the predicate straight from the
+			// register file (Srcs[2].Reg), so pin the slot to a register
+			// read regardless of the operand's nominal kind.
+			if len(in.Srcs) < 3 || in.Srcs[2].Reg < 0 {
+				u.Class = MicroBad
+				u.Err = fmt.Errorf("sem: selp predicate is not a register")
+				continue
+			}
+			u.Src[2] = MicroSrc{Kind: SrcReg, Reg: in.Srcs[2].Reg}
+		case ptx.OpCvt:
+			// sem.Convert is total over the type lattice: never faults.
+		default:
+			if err := probeALU(in.Op, in.Type); err != nil {
+				u.Class = MicroBad
+				u.Err = err
+			}
+		}
+		if u.Class == MicroALU && u.Dst == ptx.NoReg {
+			// A compute op without a register destination would have been
+			// an out-of-range register write; surface it as a fault op.
+			u.Class = MicroBad
+			u.Err = fmt.Errorf("sem: %v destination is not a register", in.Op)
+		}
+	}
+	return &MicroStream{Ops: ops}
+}

@@ -1,0 +1,116 @@
+package passes
+
+import (
+	"testing"
+
+	"crat/internal/ptx"
+)
+
+// TestMicroOpsCachingAndInvalidation extends the invalidation-table tests to
+// the micro-op stream: it must be cached like any analysis, cascade-dropped
+// with the CFG and with use-def (it bakes branch targets and register
+// operands), and survive invalidations of unrelated derived analyses.
+func TestMicroOpsCachingAndInvalidation(t *testing.T) {
+	k := buildLoopKernel()
+	am := NewAnalysisManager(k)
+
+	for i := 0; i < 3; i++ {
+		if _, err := am.MicroOps(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := am.Computes[KindMicroOps]; got != 1 {
+		t.Errorf("micro-ops computed %d times on an unchanged kernel, want 1", got)
+	}
+
+	// A liveness-only invalidation must not touch the stream.
+	am.Invalidate(KindLiveness)
+	if _, err := am.MicroOps(); err != nil {
+		t.Fatal(err)
+	}
+	if got := am.Computes[KindMicroOps]; got != 1 {
+		t.Errorf("micro-ops recomputed (%d) by a liveness-only invalidation", got)
+	}
+
+	// Use-def invalidation (a register-renaming rewrite) cascades to the
+	// stream even though control flow is untouched.
+	am.Invalidate(KindUseDef)
+	if _, err := am.MicroOps(); err != nil {
+		t.Fatal(err)
+	}
+	if got := am.Computes[KindMicroOps]; got != 2 {
+		t.Errorf("micro-ops computes = %d after use-def invalidation, want 2", got)
+	}
+
+	// CFG invalidation cascades too (branch targets are baked in).
+	am.Invalidate(KindCFG)
+	if _, err := am.MicroOps(); err != nil {
+		t.Fatal(err)
+	}
+	if got := am.Computes[KindMicroOps]; got != 3 {
+		t.Errorf("micro-ops computes = %d after CFG invalidation, want 3", got)
+	}
+
+	// Replace drops everything.
+	am.Replace(k.Clone())
+	if _, err := am.MicroOps(); err != nil {
+		t.Fatal(err)
+	}
+	if got := am.Computes[KindMicroOps]; got != 4 {
+		t.Errorf("micro-ops computes = %d after Replace, want 4", got)
+	}
+}
+
+// TestMicroOpsDroppedByPassMutation mutates a kernel through the pass
+// manager and requires the cached stream to be dropped and re-lowered from
+// the new instructions: a stale stream would keep executing the old code.
+func TestMicroOpsDroppedByPassMutation(t *testing.T) {
+	k := buildLoopKernel()
+	am := NewAnalysisManager(k)
+	m := &Manager{}
+
+	// The mul's immediate operand lowers to a pre-encoded constant; find it
+	// in the stream so the post-mutation assertion can see it change.
+	findMulConst := func() uint64 {
+		t.Helper()
+		ms, err := am.MicroOps()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range ms.Ops {
+			if u.Op == ptx.OpMul {
+				for i := 0; i < int(u.NSrc); i++ {
+					if u.Src[i].Kind == SrcConst {
+						return u.Src[i].Const
+					}
+				}
+			}
+		}
+		t.Fatal("no mul with an immediate source in the stream")
+		return 0
+	}
+	if c := findMulConst(); c != 2 {
+		t.Fatalf("pre-mutation mul immediate = %d, want 2", c)
+	}
+
+	rewrite := Fn{PassName: "strength-tweak", Clobbers: []Kind{KindUseDef},
+		Body: func(k *ptx.Kernel, am *AnalysisManager) error {
+			for i := range k.Insts {
+				in := &k.Insts[i]
+				if in.Op == ptx.OpMul {
+					in.Srcs[1] = ptx.Imm(8)
+				}
+			}
+			return nil
+		}}
+	if err := m.Run(am, rewrite); err != nil {
+		t.Fatal(err)
+	}
+
+	if c := findMulConst(); c != 8 {
+		t.Errorf("post-mutation mul immediate = %d, want 8 — the cached stream was not dropped", c)
+	}
+	if got := am.Computes[KindMicroOps]; got != 2 {
+		t.Errorf("micro-ops computes = %d after the mutating pass, want 2", got)
+	}
+}

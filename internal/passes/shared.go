@@ -16,6 +16,9 @@ type KernelAnalyses struct {
 	Reconv  []int       // per-pc reconvergence pc for conditional branches (-1 = none)
 	Uses    [][]ptx.Reg // per-pc registers read (guard, sources, memory bases)
 	Defs    []ptx.Reg   // per-pc register written (ptx.NoReg = none)
+	// Micro is the pre-decoded micro-op stream both executors run from:
+	// operand kinds resolved, immediates pre-encoded, symbols pre-folded.
+	Micro *MicroStream
 }
 
 // sharedEntry holds one kernel's analyses. res is an atomic pointer because
@@ -82,12 +85,17 @@ func buildShared(k *ptx.Kernel) *sharedResult {
 		return &sharedResult{err: err, nInsts: len(k.Insts)}
 	}
 	ud := am.UseDef()
+	micro, err := am.MicroOps()
+	if err != nil {
+		return &sharedResult{err: err, nInsts: len(k.Insts)}
+	}
 	return &sharedResult{
 		an: &KernelAnalyses{
 			Targets: rc.Targets,
 			Reconv:  rc.Reconv,
 			Uses:    ud.Uses,
 			Defs:    ud.Defs,
+			Micro:   micro,
 		},
 		nInsts: len(k.Insts),
 	}

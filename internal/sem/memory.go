@@ -45,6 +45,12 @@ func (m *Memory) page(addr uint64) []byte {
 	return p
 }
 
+// PageFor returns the backing page containing addr, allocating it on first
+// touch. A page, once created, is never replaced or resized, so callers on a
+// hot path may cache the returned slice keyed by addr>>PageBits and skip the
+// map lookup while consecutive accesses stay within one page.
+func (m *Memory) PageFor(addr uint64) []byte { return m.page(addr) }
+
 // ReadBytes copies n bytes at addr into a fresh slice.
 func (m *Memory) ReadBytes(addr uint64, n int) []byte {
 	out := make([]byte, n)

@@ -98,6 +98,11 @@ func TestRunLoadOverload(t *testing.T) {
 // the report must count the aborts rather than misfile them as failures.
 func TestRunLoadCancelInjection(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1})
+	// Wedge the worker slot so every request is still parked (slot wait is
+	// context-bounded) when its client aborts: the hang-up observation must
+	// not depend on how long a compile takes.
+	s.workers <- struct{}{}
+	defer func() { <-s.workers }()
 	rep, err := RunLoad(context.Background(), ts.URL, LoadOptions{
 		Concurrency: 2,
 		Requests:    6,
