@@ -10,6 +10,7 @@ SMOKEDIR := /tmp/crat-checkpoint-smoke
 ORACLEDIR := /tmp/crat-oracle-smoke
 GOLDENDIR := /tmp/crat-golden-diff
 SVCDIR := /tmp/crat-service-smoke
+SHARDDIR := /tmp/crat-shard-smoke
 
 # Normalization for golden-output comparison: drop the wall-clock footer,
 # mask duration tokens (the overhead table's profiling/static wall columns
@@ -18,7 +19,7 @@ SVCDIR := /tmp/crat-service-smoke
 # tracks the width of the masked durations).
 NORM = sed -E -e '/^done in /d' -e 's/[0-9]+(\.[0-9]+)?(µs|ms|m?s)\b/DUR/g' -e 's/ +/ /g' -e 's/ +$$//'
 
-.PHONY: all build vet test race race-harness bench-smoke perf-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke golden-diff golden-regen ci
+.PHONY: all build vet test race race-harness bench-smoke perf-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke shard-smoke golden-diff golden-regen ci
 
 all: build
 
@@ -138,6 +139,38 @@ service-smoke:
 	grep -q 'drained cleanly; journal flushed' $(SVCDIR)/cratd2.log
 	@echo "service-smoke: clean drain under load; restart served the corpus with zero recompiles"
 
+# Shard smoke: the multi-replica fleet's chaos acceptance run end to end.
+# A single-replica fleet (cratd behind cratgw) produces the baseline
+# Decision digests; then a 3-replica fleet runs the same corpus while a
+# random replica is SIGKILLed mid-load and restarted on its original
+# address. The run must see zero client-visible failures, the gateway's
+# failover counter must have advanced, the chaos digests must be
+# byte-identical to the baseline regardless of which replica answered,
+# and every process (gateway + all replicas) must drain cleanly on stop.
+shard-smoke:
+	rm -rf $(SHARDDIR) && mkdir -p $(SHARDDIR)
+	$(GO) build -o $(SHARDDIR)/cratd ./cmd/cratd
+	$(GO) build -o $(SHARDDIR)/cratgw ./cmd/cratgw
+	$(GO) build -o $(SHARDDIR)/cratload ./cmd/cratload
+	set -e; \
+	$(SHARDDIR)/cratload -replicas 1 -cratd-bin $(SHARDDIR)/cratd -cratgw-bin $(SHARDDIR)/cratgw \
+		-fleet-dir $(SHARDDIR)/base -n 96 -kernels 24 -seed 7 -c 4 \
+		-decisions-out $(SHARDDIR)/base-decisions.txt > $(SHARDDIR)/base.txt 2>&1; \
+	$(SHARDDIR)/cratload -replicas 3 -cratd-bin $(SHARDDIR)/cratd -cratgw-bin $(SHARDDIR)/cratgw \
+		-fleet-dir $(SHARDDIR)/fleet -n 96 -kernels 24 -seed 7 -c 4 \
+		-chaos -chaos-delay 300ms -hedge-after 250ms \
+		-decisions-out $(SHARDDIR)/fleet-decisions.txt > $(SHARDDIR)/chaos.txt 2>&1; \
+	diff $(SHARDDIR)/base-decisions.txt $(SHARDDIR)/fleet-decisions.txt; \
+	grep -q 'CHAOS: SIGKILLed replica' $(SHARDDIR)/chaos.txt; \
+	grep -q 'CHAOS: restarted replica' $(SHARDDIR)/chaos.txt; \
+	FAILOVERS=$$(awk '/^gateway:/ { for (i = 1; i < NF; i++) if ($$i == "failovers") print $$(i+1) + 0 }' $(SHARDDIR)/chaos.txt); \
+	[ -n "$$FAILOVERS" ] && [ "$$FAILOVERS" -ge 1 ] || { echo "shard-smoke: gateway recorded no failovers despite the kill"; cat $(SHARDDIR)/chaos.txt; exit 1; }; \
+	for f in cratgw cratd-0 cratd-1 cratd-2; do \
+		grep -q 'drained cleanly' $(SHARDDIR)/fleet/$$f.log || { echo "shard-smoke: $$f did not drain cleanly"; exit 1; }; \
+	done; \
+	grep -q 'drained cleanly' $(SHARDDIR)/base/cratgw.log
+	@echo "shard-smoke: chaos kill absorbed with zero client-visible failures; Decisions byte-identical to the single-replica baseline"
+
 # Golden-output regression guard: re-render every experiment table and diff
 # against the committed experiments_output.txt (durations normalized, see
 # NORM). The full sweep is deterministic — any diff is a real behavior
@@ -154,4 +187,4 @@ golden-diff:
 golden-regen:
 	$(GO) run ./cmd/experiments -run all > experiments_output.txt
 
-ci: vet build race race-harness checkpoint-smoke bench-smoke perf-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke golden-diff
+ci: vet build race race-harness checkpoint-smoke bench-smoke perf-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke shard-smoke golden-diff

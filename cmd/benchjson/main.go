@@ -79,7 +79,9 @@ type Report struct {
 	Passes map[string]float64 `json:"passes,omitempty"`
 	// Service collects the cratd daemon metrics ("svc-*" units from
 	// BenchmarkServiceThroughput and `cratload -bench`): request
-	// throughput, latency percentiles, sheds, cache hits.
+	// throughput, latency percentiles, sheds, cache hits, and — when the
+	// load ran against a cratgw fleet — the gateway's svc-hedges and
+	// svc-failovers counters scraped from its /statsz.
 	Service map[string]float64 `json:"service,omitempty"`
 }
 

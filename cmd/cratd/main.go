@@ -6,8 +6,8 @@
 // Usage:
 //
 //	cratd [-addr 127.0.0.1:8177] [-cache DIR] [-queue N] [-workers N]
-//	      [-deadline 30s] [-max-deadline 2m] [-drain 15s] [-verify]
-//	      [-addr-file PATH] [-version]
+//	      [-deadline 30s] [-max-deadline 2m] [-drain 15s] [-drain-grace 0]
+//	      [-verify] [-addr-file PATH] [-version]
 //
 // Endpoints:
 //
@@ -47,6 +47,7 @@ func main() {
 	deadline := flag.Duration("deadline", 30*time.Second, "default per-request deadline when the request sets none")
 	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "upper bound on any request's deadline")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM before giving up on in-flight requests")
+	drainGrace := flag.Duration("drain-grace", 0, "hold the listener open (readyz already 503) for this long at drain start, so a gateway health check observes not-ready before connections are refused")
 	verify := flag.Bool("verify", true, "run the differential oracle on every compile by default (requests may override)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
@@ -64,6 +65,7 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		CacheDir:        *cacheDir,
 		VerifyDefault:   *verify,
+		DrainGrace:      *drainGrace,
 		Log:             logger,
 	})
 	if err != nil {

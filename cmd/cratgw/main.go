@@ -1,0 +1,140 @@
+// Command cratgw is the sharded routing gateway for a fleet of cratd
+// replicas: it consistent-hashes each compile's content-addressed
+// request key onto a stable replica (keeping that replica's cache tiers
+// hot), actively health-checks the fleet (/readyz probes eject draining
+// or dead replicas and re-admit recovered ones), circuit-breaks crashing
+// replicas, retries with exponential backoff + jitter honoring
+// Retry-After, fails over to the next ring replica on connection errors
+// and 5xx, and can hedge tail latency with a second attempt to the
+// failover replica (safe: compiles are deterministic and
+// content-addressed, so both replicas answer byte-identically).
+//
+// Usage:
+//
+//	cratgw -replicas http://h1:8177,http://h2:8177,http://h3:8177
+//	       [-addr 127.0.0.1:8178] [-addr-file PATH]
+//	       [-probe-period 250ms] [-probe-timeout 1s]
+//	       [-unhealthy-after 2] [-healthy-after 2]
+//	       [-breaker-failures 3] [-breaker-cooldown 2s]
+//	       [-retries 2] [-hedge-after 0] [-drain 15s] [-version]
+//
+// Endpoints:
+//
+//	POST /v1/compile  routed to the owning replica, retried/failed over/hedged
+//	GET  /healthz     gateway liveness
+//	GET  /readyz      503 while draining or with zero healthy replicas
+//	GET  /statsz      per-replica state + opens/ejections/retries/hedges/failovers
+//
+// See DESIGN.md §15 for the ring construction, breaker state machine,
+// and the retry/hedge decision table.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"crat/internal/buildinfo"
+	"crat/internal/retry"
+	"crat/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8178", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	replicas := flag.String("replicas", "", "comma-separated cratd base URLs (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default)")
+	probePeriod := flag.Duration("probe-period", 250*time.Millisecond, "health-probe interval per replica")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "health-probe timeout")
+	unhealthyAfter := flag.Int("unhealthy-after", 2, "consecutive probe failures that eject a replica from the ring")
+	healthyAfter := flag.Int("healthy-after", 2, "consecutive probe successes that re-admit a replica")
+	breakerFailures := flag.Int("breaker-failures", 3, "consecutive request failures that open a replica's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before a half-open probe")
+	retries := flag.Int("retries", 2, "retries per request beyond the first attempt (failover/backoff budget)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "tail-latency hedge: issue a second attempt to the failover replica after this delay (0 = off; derive from the fleet's p99)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM")
+	version := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+
+	if *version {
+		buildinfo.Print("cratgw")
+		return
+	}
+
+	logger := log.New(os.Stderr, "cratgw: ", log.LstdFlags|log.Lmsgprefix)
+	var urls []string
+	for _, u := range strings.Split(*replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		logger.Fatal("at least one -replicas URL is required")
+	}
+
+	gw, err := shard.NewGateway(shard.GatewayConfig{
+		Replicas: urls,
+		Vnodes:   *vnodes,
+		Health: shard.HealthConfig{
+			Period:         *probePeriod,
+			Timeout:        *probeTimeout,
+			UnhealthyAfter: *unhealthyAfter,
+			HealthyAfter:   *healthyAfter,
+		},
+		Breaker: shard.BreakerConfig{
+			Failures: *breakerFailures,
+			Cooldown: *breakerCooldown,
+		},
+		Retry:      retry.Policy{MaxAttempts: *retries + 1},
+		HedgeAfter: *hedgeAfter,
+		Log:        logger,
+	})
+	if err != nil {
+		logger.Fatalf("startup: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen %s: %v", *addr, err)
+	}
+	bound := l.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			logger.Fatalf("writing -addr-file: %v", err)
+		}
+	}
+	fmt.Printf("cratgw: listening on http://%s, fronting %d replicas (%s)\n",
+		bound, len(urls), buildinfo.String())
+	logger.Printf("listening on %s, replicas: %s", bound, strings.Join(urls, " "))
+
+	gw.Start()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- gw.Serve(l) }()
+
+	select {
+	case sig := <-sigs:
+		logger.Printf("received %v: draining (budget %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := gw.Shutdown(ctx); err != nil {
+			logger.Printf("drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		logger.Printf("drained cleanly")
+	case err := <-serveErr:
+		if err != nil {
+			logger.Fatalf("serve: %v", err)
+		}
+	}
+}

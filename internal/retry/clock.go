@@ -1,0 +1,91 @@
+package retry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the retry machinery so tests advance it
+// explicitly instead of sleeping. The zero Policy uses SystemClock.
+type Clock interface {
+	Now() time.Time
+	// After behaves like time.After: a channel that receives once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// SystemClock returns the wall clock.
+func SystemClock() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced Clock for deterministic tests: no
+// retry test in this repo ever sleeps for real. After-channels fire the
+// moment Advance moves the clock past their deadline.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at an arbitrary fixed epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward and fires every waiter whose deadline
+// has passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var keep []fakeWaiter
+	var fire []fakeWaiter
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			fire = append(fire, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+	now := c.now
+	c.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}
+
+// Waiters reports how many After-channels are pending (tests use it to
+// know a sleeper is parked before advancing).
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

@@ -1,0 +1,169 @@
+// Package retry is the shared retry/backoff discipline for the service
+// layer: exponential backoff with full jitter, context-aware sleeping,
+// and Retry-After parsing. Both cratload (retrying 429 sheds against one
+// daemon) and the cratgw gateway (failing over across replicas) drive
+// their loops through a Policy, so the two agree on what "back off" means
+// and tests can pin the schedule with an injectable clock and random
+// source.
+//
+// The backoff is "full jitter" (AWS architecture-blog terminology): the
+// attempt-n delay is drawn uniformly from [0, min(MaxDelay,
+// BaseDelay·Multiplier^n)]. Full jitter decorrelates clients that were
+// shed by the same overloaded replica at the same moment — a fixed
+// exponential schedule would march them back in lockstep and reproduce
+// the spike that shed them.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Policy describes one retry loop. The zero value is usable: a single
+// attempt, 100ms base, 5s cap, doubling, system clock and random source.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (<=0 means 1: no retries).
+	MaxAttempts int
+	// BaseDelay is the jitter ceiling for the first backoff (default
+	// 100ms); MaxDelay caps the ceiling's exponential growth (default 5s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Multiplier grows the ceiling per attempt (default 2).
+	Multiplier float64
+	// Rand supplies the jitter draw in [0,1) (default math/rand). Tests
+	// inject a constant to make Delay deterministic.
+	Rand func() float64
+	// Clock drives Sleep (default SystemClock). Tests inject a FakeClock.
+	Clock Clock
+}
+
+// Attempts returns the effective total try count (MaxAttempts, floored
+// at one).
+func (p Policy) Attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+func (p Policy) clock() Clock {
+	if p.Clock == nil {
+		return SystemClock()
+	}
+	return p.Clock
+}
+
+// Delay returns the full-jitter backoff before retry number attempt
+// (0-based: Delay(0) follows the first failure).
+func (p Policy) Delay(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	ceil := float64(base)
+	for i := 0; i < attempt; i++ {
+		ceil *= mult
+		if ceil >= float64(max) {
+			ceil = float64(max)
+			break
+		}
+	}
+	if ceil > float64(max) {
+		ceil = float64(max)
+	}
+	r := p.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	return time.Duration(r() * ceil)
+}
+
+// Sleep blocks for d on the policy's clock, or returns ctx.Err() if the
+// context finishes first. A non-positive d returns immediately.
+func (p Policy) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-p.clock().After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RetryAfter parses a Retry-After header (delay-seconds form; the
+// HTTP-date form is not produced by anything in this repo and reads as
+// absent). ok reports whether a usable hint was present.
+func RetryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// Do runs attempt up to MaxAttempts times. attempt returns (done, err):
+// done=true ends the loop immediately with err (success or terminal
+// failure); done=false requests a retry after the backoff for that
+// attempt, optionally overridden by the hint attempt returned through
+// SetHint on the passed *Attempt. The loop never retries once ctx is
+// done — a context error always wins over further attempts.
+func Do(ctx context.Context, p Policy, attempt func(a *Attempt) (bool, error)) error {
+	var lastErr error
+	n := p.Attempts()
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		a := &Attempt{N: i, hint: -1}
+		done, err := attempt(a)
+		if done {
+			return err
+		}
+		lastErr = err
+		if i == n-1 {
+			break
+		}
+		d := p.Delay(i)
+		if a.hint >= 0 {
+			d = a.hint
+		}
+		if err := p.Sleep(ctx, d); err != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// Attempt carries per-try state through Do: the 0-based attempt number
+// and an optional server-provided backoff hint (Retry-After) that
+// overrides the computed delay for the next sleep.
+type Attempt struct {
+	N    int
+	hint time.Duration
+}
+
+// SetHint overrides the next backoff (a Retry-After hint). Negative
+// hints are ignored.
+func (a *Attempt) SetHint(d time.Duration) {
+	if d >= 0 {
+		a.hint = d
+	}
+}

@@ -1,0 +1,212 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDelayFullJitter pins the jitter ceiling: with Rand always
+// returning its maximum the delay is the exponential ceiling, with 0 it
+// is 0, and the ceiling saturates at MaxDelay.
+func TestDelayFullJitter(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 800 * time.Millisecond, Multiplier: 2}
+	p.Rand = func() float64 { return 0.999999 }
+	ceil := []time.Duration{100, 200, 400, 800, 800, 800}
+	for i, want := range ceil {
+		got := p.Delay(i)
+		want *= time.Millisecond
+		if got < time.Duration(float64(want)*0.99) || got > want {
+			t.Errorf("Delay(%d) = %v, want ~%v (ceiling)", i, got, want)
+		}
+	}
+	p.Rand = func() float64 { return 0 }
+	for i := 0; i < 4; i++ {
+		if got := p.Delay(i); got != 0 {
+			t.Errorf("Delay(%d) with zero draw = %v, want 0", i, got)
+		}
+	}
+	// Mid-range draw stays inside [0, ceiling).
+	p.Rand = func() float64 { return 0.5 }
+	if got := p.Delay(2); got != 200*time.Millisecond {
+		t.Errorf("Delay(2) with 0.5 draw = %v, want 200ms", got)
+	}
+}
+
+// TestSleepFakeClock proves Sleep blocks on the injected clock (no real
+// time passes) and wakes exactly on Advance.
+func TestSleepFakeClock(t *testing.T) {
+	clk := NewFakeClock()
+	p := Policy{Clock: clk}
+	done := make(chan error, 1)
+	go func() { done <- p.Sleep(context.Background(), time.Hour) }()
+	waitFor(t, func() bool { return clk.Waiters() == 1 })
+	select {
+	case err := <-done:
+		t.Fatalf("Sleep returned (%v) before the clock advanced", err)
+	default:
+	}
+	clk.Advance(time.Hour)
+	if err := <-done; err != nil {
+		t.Fatalf("Sleep after Advance: %v", err)
+	}
+}
+
+// TestSleepCanceled: a canceled context unparks the sleeper with its
+// error, without the clock moving.
+func TestSleepCanceled(t *testing.T) {
+	clk := NewFakeClock()
+	p := Policy{Clock: clk}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Sleep(ctx, time.Hour) }()
+	waitFor(t, func() bool { return clk.Waiters() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep under cancel = %v, want context.Canceled", err)
+	}
+}
+
+// TestDoRetriesWithBackoff runs a failing-then-succeeding attempt loop
+// on a fake clock and asserts the attempt count and that each retry
+// waited for the policy's deterministic delay.
+func TestDoRetriesWithBackoff(t *testing.T) {
+	clk := NewFakeClock()
+	p := Policy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		Multiplier:  2,
+		MaxDelay:    time.Second,
+		Rand:        func() float64 { return 0.999999 }, // delay == ceiling
+		Clock:       clk,
+	}
+	var tries int
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(context.Background(), p, func(a *Attempt) (bool, error) {
+			tries++
+			if tries < 3 {
+				return false, errors.New("transient")
+			}
+			return true, nil
+		})
+	}()
+	// Two backoffs happen: ~100ms then ~200ms. Advance through both.
+	waitFor(t, func() bool { return clk.Waiters() == 1 })
+	clk.Advance(100 * time.Millisecond)
+	waitFor(t, func() bool { return clk.Waiters() == 1 })
+	clk.Advance(200 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatalf("Do = %v, want success on third attempt", err)
+	}
+	if tries != 3 {
+		t.Errorf("tries = %d, want 3", tries)
+	}
+}
+
+// TestDoExhausted returns the last error once attempts run out.
+func TestDoExhausted(t *testing.T) {
+	p := Policy{MaxAttempts: 3, Rand: func() float64 { return 0 }} // zero-delay retries
+	var tries int
+	sentinel := errors.New("still failing")
+	err := Do(context.Background(), p, func(a *Attempt) (bool, error) {
+		tries++
+		return false, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Do = %v, want the last attempt error", err)
+	}
+	if tries != 3 {
+		t.Errorf("tries = %d, want 3", tries)
+	}
+}
+
+// TestDoNeverRetriesDoneContext: a context that dies mid-backoff aborts
+// the loop with the context error; no further attempt runs.
+func TestDoNeverRetriesDoneContext(t *testing.T) {
+	clk := NewFakeClock()
+	p := Policy{MaxAttempts: 5, Clock: clk, Rand: func() float64 { return 0.999999 }}
+	ctx, cancel := context.WithCancel(context.Background())
+	var tries int
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, p, func(a *Attempt) (bool, error) {
+			tries++
+			return false, errors.New("transient")
+		})
+	}()
+	waitFor(t, func() bool { return clk.Waiters() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if tries != 1 {
+		t.Errorf("tries = %d, want 1 (no retry after cancellation)", tries)
+	}
+}
+
+// TestDoHonorsHint: a Retry-After style hint replaces the computed
+// backoff for that sleep.
+func TestDoHonorsHint(t *testing.T) {
+	clk := NewFakeClock()
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Hour, Clock: clk, Rand: func() float64 { return 0.999999 }}
+	var tries int
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(context.Background(), p, func(a *Attempt) (bool, error) {
+			tries++
+			if tries == 1 {
+				a.SetHint(50 * time.Millisecond)
+				return false, errors.New("shed")
+			}
+			return true, nil
+		})
+	}()
+	waitFor(t, func() bool { return clk.Waiters() == 1 })
+	// The hour-scale policy delay must NOT be in effect: 50ms suffices.
+	clk.Advance(50 * time.Millisecond)
+	if err := <-done; err != nil {
+		t.Fatalf("Do = %v, want success after hinted backoff", err)
+	}
+	if tries != 2 {
+		t.Errorf("tries = %d, want 2", tries)
+	}
+}
+
+func TestRetryAfter(t *testing.T) {
+	h := http.Header{}
+	if _, ok := RetryAfter(h); ok {
+		t.Error("absent header parsed as present")
+	}
+	h.Set("Retry-After", "3")
+	if d, ok := RetryAfter(h); !ok || d != 3*time.Second {
+		t.Errorf("Retry-After: 3 = (%v, %v), want (3s, true)", d, ok)
+	}
+	h.Set("Retry-After", "0")
+	if d, ok := RetryAfter(h); !ok || d != 0 {
+		t.Errorf("Retry-After: 0 = (%v, %v), want (0, true)", d, ok)
+	}
+	h.Set("Retry-After", "-1")
+	if _, ok := RetryAfter(h); ok {
+		t.Error("negative Retry-After parsed as present")
+	}
+	h.Set("Retry-After", "soon")
+	if _, ok := RetryAfter(h); ok {
+		t.Error("non-numeric Retry-After parsed as present")
+	}
+}
+
+// waitFor polls cond without sleeping the fake clock forward.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

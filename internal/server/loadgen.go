@@ -3,17 +3,18 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
-	"strconv"
 	"time"
 
 	"crat/internal/emu/ptxgen"
 	"crat/internal/pool"
 	"crat/internal/ptx"
+	"crat/internal/retry"
 )
 
 // LoadOptions configures one closed-loop load run against a cratd
@@ -37,10 +38,19 @@ type LoadOptions struct {
 	// daemon's canceled-client path.
 	CancelFrac  float64
 	CancelAfter time.Duration
-	// Retries re-sends a shed (429) request up to N times, honoring the
-	// Retry-After hint (capped at 1s). 0 = count the shed and move on,
-	// which is what the overload experiments want.
+	// Retries re-sends a shed (429) request up to N times through
+	// internal/retry (full-jitter exponential backoff, Retry-After hints
+	// honored and capped at 1s). 0 = count the shed and move on, which is
+	// what the overload experiments want.
 	Retries int
+	// CaptureDecisions records a canonical digest of every 200 response's
+	// content fields, keyed by corpus index, in LoadReport.Decisions.
+	// Two runs over the same corpus must produce identical digest lists
+	// no matter which replica (or cache tier) served each request — the
+	// shard-smoke byte-identical check diffs exactly these.
+	CaptureDecisions bool
+	// Clock is injectable for deterministic retry tests (default system).
+	Clock retry.Clock
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -69,21 +79,36 @@ func (o LoadOptions) withDefaults() LoadOptions {
 // (200) requests only — i.e. the latency the daemon's admission control
 // promises to bound by the deadline.
 type LoadReport struct {
-	Requests  int           `json:"requests"`
-	OK        int           `json:"ok"`
-	Cached    int           `json:"cached"`
-	Degraded  int           `json:"degraded"`
-	Shed      int           `json:"shed"`
-	Timeouts  int           `json:"timeouts"` // client- or server-side deadline
-	Canceled  int           `json:"canceled"` // injected aborts
-	Failed    int           `json:"failed"`   // everything else
-	Elapsed   time.Duration `json:"elapsed"`
-	RPS       float64       `json:"rps"`
-	P50       time.Duration `json:"p50"`
-	P95       time.Duration `json:"p95"`
-	P99       time.Duration `json:"p99"`
-	MaxOK     time.Duration `json:"max_ok"`
-	ByStatus  map[int]int   `json:"by_status"`
+	Requests int           `json:"requests"`
+	OK       int           `json:"ok"`
+	Cached   int           `json:"cached"`
+	Degraded int           `json:"degraded"`
+	Shed     int           `json:"shed"`
+	Timeouts int           `json:"timeouts"` // client- or server-side deadline
+	Canceled int           `json:"canceled"` // injected aborts
+	Failed   int           `json:"failed"`   // everything else
+	Elapsed  time.Duration `json:"elapsed"`
+	RPS      float64       `json:"rps"`
+	P50      time.Duration `json:"p50"`
+	P95      time.Duration `json:"p95"`
+	P99      time.Duration `json:"p99"`
+	MaxOK    time.Duration `json:"max_ok"`
+	ByStatus map[int]int   `json:"by_status"`
+	// Decisions (with LoadOptions.CaptureDecisions) holds one canonical
+	// digest line per corpus index that completed at least once, sorted
+	// by index. Inconsistent counts corpus indices whose repeats returned
+	// DIFFERENT content — always zero when the service is honest, no
+	// matter which replica served which repeat.
+	Decisions    []string `json:"decisions,omitempty"`
+	Inconsistent int      `json:"inconsistent,omitempty"`
+}
+
+// decisionDigest canonicalizes a response's content-addressed fields
+// (everything except the per-serve Cached/CacheTier/ElapsedMs metadata).
+func decisionDigest(cr *CompileResponse) string {
+	return fmt.Sprintf("kernel=%s arch=%s reg=%d tlp=%d candidates=%d profile_runs=%d degraded=%t divergence=%q ptx_sha256=%x",
+		cr.Kernel, cr.Arch, cr.Reg, cr.TLP, cr.Candidates, cr.ProfileRuns,
+		cr.Degraded, cr.Divergence, sha256.Sum256([]byte(cr.PTX)))
 }
 
 // Corpus generates n deterministic compile requests: one ptxgen kernel per
@@ -122,11 +147,21 @@ func RunLoad(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport
 		degraded bool
 		err      error
 		canceled bool
+		digest   string
 	}
 	outs := make([]outcome, opts.Requests)
 	cancelEvery := 0
 	if opts.CancelFrac > 0 {
 		cancelEvery = int(1 / opts.CancelFrac)
+	}
+	// The 429 retry loop is the shared internal/retry discipline: full
+	// jitter between re-sends, Retry-After hints honored (capped at 1s so
+	// a misbehaving hint can't stall the run), and no retry once ctx dies.
+	policy := retry.Policy{
+		MaxAttempts: opts.Retries + 1,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Clock:       opts.Clock,
 	}
 
 	start := time.Now()
@@ -135,60 +170,49 @@ func RunLoad(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport
 		buf, _ := json.Marshal(req)
 		o := &outs[i]
 
-		attempts := opts.Retries + 1
-		for a := 0; a < attempts; a++ {
+		retry.Do(ctx, policy, func(a *retry.Attempt) (bool, error) {
 			timeout := opts.Timeout
 			if cancelEvery > 0 && i%cancelEvery == cancelEvery-1 {
 				o.canceled = true
 				timeout = opts.CancelAfter
 			}
 			rctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
 			t0 := time.Now()
 			hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, url, bytes.NewReader(buf))
 			if err != nil {
-				cancel()
 				o.err = err
-				return
+				return true, nil
 			}
 			hreq.Header.Set("Content-Type", "application/json")
 			resp, err := client.Do(hreq)
 			o.dur = time.Since(t0)
 			if err != nil {
-				cancel()
 				o.err = err
-				return
+				return true, nil
 			}
-			if resp.StatusCode == http.StatusTooManyRequests && a < attempts-1 {
-				wait := time.Second
-				if ra, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && ra >= 0 {
-					if d := time.Duration(ra) * time.Second; d < wait {
-						wait = d
-					}
+			defer resp.Body.Close()
+			o.status = resp.StatusCode
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if hint, ok := retry.RetryAfter(resp.Header); ok {
+					a.SetHint(min(hint, time.Second))
 				}
 				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				cancel()
-				select {
-				case <-time.After(wait):
-					continue
-				case <-ctx.Done():
-					o.status = http.StatusTooManyRequests
-					return
-				}
+				return false, nil // retry (up to the policy's budget)
 			}
-			o.status = resp.StatusCode
 			if resp.StatusCode == http.StatusOK {
 				var cr CompileResponse
 				if derr := json.NewDecoder(resp.Body).Decode(&cr); derr == nil {
 					o.cached = cr.Cached
 					o.degraded = cr.Degraded
+					if opts.CaptureDecisions {
+						o.digest = decisionDigest(&cr)
+					}
 				}
 			}
 			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			cancel()
-			return
-		}
+			return true, nil
+		})
 	})
 
 	rep := &LoadReport{Requests: opts.Requests, Elapsed: time.Since(start), ByStatus: map[int]int{}}
@@ -235,6 +259,32 @@ func RunLoad(ctx context.Context, baseURL string, opts LoadOptions) (*LoadReport
 	if rep.Elapsed > 0 {
 		rep.RPS = float64(rep.OK) / rep.Elapsed.Seconds()
 	}
+	if opts.CaptureDecisions {
+		// Fold repeats of the same corpus index together: every repeat
+		// must have returned identical content, or the service handed two
+		// clients different Decisions for the same compile.
+		byIdx := make(map[int]string, len(corpus))
+		for i := range outs {
+			o := &outs[i]
+			if o.digest == "" {
+				continue
+			}
+			idx := i % len(corpus)
+			if prev, ok := byIdx[idx]; ok && prev != o.digest {
+				rep.Inconsistent++
+				continue
+			}
+			byIdx[idx] = o.digest
+		}
+		idxs := make([]int, 0, len(byIdx))
+		for idx := range byIdx {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			rep.Decisions = append(rep.Decisions, fmt.Sprintf("idx=%d %s", idx, byIdx[idx]))
+		}
+	}
 	if runErr != nil && rep.OK == 0 {
 		return rep, fmt.Errorf("load run aborted: %w", runErr)
 	}
@@ -266,6 +316,9 @@ func (r *LoadReport) Summary() string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "requests %d: ok %d (cached %d, degraded %d)  shed %d  timeout %d  canceled %d  failed %d\n",
 		r.Requests, r.OK, r.Cached, r.Degraded, r.Shed, r.Timeouts, r.Canceled, r.Failed)
+	if r.Inconsistent > 0 {
+		fmt.Fprintf(&b, "INCONSISTENT: %d corpus entries returned different Decisions across repeats\n", r.Inconsistent)
+	}
 	fmt.Fprintf(&b, "throughput %.1f req/s over %s\n", r.RPS, r.Elapsed.Round(time.Millisecond))
 	if r.OK > 0 {
 		fmt.Fprintf(&b, "latency p50 %s  p95 %s  p99 %s  max %s\n",

@@ -61,6 +61,14 @@ type Config struct {
 	// VerifyDefault runs the differential oracle on every compile unless
 	// the request overrides it.
 	VerifyDefault bool
+	// DrainGrace holds the listener open (still answering /readyz with
+	// 503 and /healthz with 200) for this long after a drain begins,
+	// before connections stop being accepted. A gateway health-checking
+	// this replica observes the not-ready flip and takes it out of
+	// rotation while the listener is still up, instead of discovering the
+	// drain as a connection error. 0 = close immediately (the old
+	// behavior; fine without a gateway).
+	DrainGrace time.Duration
 	// Log receives the daemon's operational log lines (nil = discard).
 	Log *log.Logger
 }
@@ -218,12 +226,19 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Shutdown drains the daemon: admission stops immediately (readyz goes
-// 503, new compiles are refused), in-flight requests run to completion
-// within ctx, and the cache journal is flushed as the final barrier. A nil
-// return means every in-flight request finished and the journal is on
-// disk.
+// 503, new compiles are refused), the listener stays open for DrainGrace
+// so health checkers observe the flip, in-flight requests run to
+// completion within ctx, and the cache journal is flushed as the final
+// barrier. A nil return means every in-flight request finished and the
+// journal is on disk.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.cfg.DrainGrace > 0 {
+		select {
+		case <-time.After(s.cfg.DrainGrace):
+		case <-ctx.Done():
+		}
+	}
 	var err error
 	s.mu.Lock()
 	srv := s.http

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -342,6 +343,60 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("condition not reached within 5s")
+}
+
+// TestReadyzFlipsBeforeDrain pins the ordering a health-checked gateway
+// depends on: the moment Shutdown begins, /readyz answers 503 while the
+// listener is still accepting connections (/healthz still 200, so the
+// replica is alive for in-flight work) — the flip is observable BEFORE
+// the listener closes, for at least the DrainGrace window.
+func TestReadyzFlipsBeforeDrain(t *testing.T) {
+	s, err := New(Config{Workers: 1, DrainGrace: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(l) }()
+	url := "http://" + l.Addr().String()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(url + path)
+		if err != nil {
+			t.Fatalf("GET %s during drain grace: %v (listener closed before readyz flip was observable)", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", code)
+	}
+
+	// Begin the drain with a grace long enough that the listener is
+	// guaranteed still open when we probe; cancel the grace wait once the
+	// ordering has been observed.
+	ctx, cancel := context.WithCancel(context.Background())
+	drained := make(chan error, 1)
+	go func() { drained <- s.Shutdown(ctx) }()
+	waitFor(t, func() bool { return s.draining.Load() })
+
+	// The ordering under test: not-ready first, listener still up.
+	if code := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("readyz at drain start = %d, want 503", code)
+	}
+	if code := get("/healthz"); code != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200 (liveness must outlast readiness)", code)
+	}
+
+	cancel() // cut the grace short; the drain proceeds to close the listener
+	<-drained
+	if err := <-served; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
 }
 
 func TestHealthAndStats(t *testing.T) {

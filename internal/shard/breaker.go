@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"crat/internal/retry"
+)
+
+// BreakerState is the classic three-state circuit-breaker machine.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused without touching the replica
+	// until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: exactly one probe request is allowed through; its
+	// outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes one per-replica breaker. Zero values take the
+// defaults noted per field.
+type BreakerConfig struct {
+	// Failures is the consecutive-failure count that opens the breaker
+	// (default 3).
+	Failures int
+	// Cooldown is how long an open breaker refuses before allowing a
+	// half-open probe (default 2s).
+	Cooldown time.Duration
+	// Clock is injectable for deterministic tests (default system).
+	Clock retry.Clock
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = retry.SystemClock()
+	}
+	return c
+}
+
+// Breaker sheds a crashing replica instantly instead of after N
+// timeouts: once Failures consecutive requests fail, Allow refuses
+// without any network round trip until the cooldown passes, then one
+// half-open probe decides between closing and another cooldown.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+
+	opens int64 // lifetime closed→open transitions, for /statsz
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a request may be sent now. In the open state it
+// flips to half-open once the cooldown has elapsed and admits exactly
+// one probe; concurrent callers during the probe are refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Clock.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a request outcome: closes a half-open breaker and
+// resets the failure streak.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecFails = 0
+	b.probing = false
+}
+
+// Failure records a failed request: re-opens a half-open breaker
+// immediately, or opens a closed one once the streak reaches the
+// threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open()
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.cfg.Failures {
+			b.open()
+		}
+	case BreakerOpen:
+		// A straggler from before the open; nothing to do.
+	}
+}
+
+// open transitions to BreakerOpen; callers hold the lock.
+func (b *Breaker) open() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Clock.Now()
+	b.consecFails = 0
+	b.probing = false
+	b.opens++
+}
+
+// State returns the current state (half-open is reported as such even
+// before the probe fires).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns the lifetime closed→open transition count.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,116 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"crat/internal/retry"
+)
+
+func testBreaker() (*Breaker, *retry.FakeClock) {
+	clk := retry.NewFakeClock()
+	return NewBreaker(BreakerConfig{Failures: 3, Cooldown: 2 * time.Second, Clock: clk}), clk
+}
+
+// TestBreakerOpensOnConsecutiveFailures: the breaker stays closed
+// through Failures-1 failures, opens on the Nth, and then refuses
+// without a cooldown having passed.
+func TestBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	b, _ := testBreaker()
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, got)
+		}
+	}
+	b.Allow()
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after 3 failures state = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Error("open breaker allowed a request before cooldown")
+	}
+	if got := b.Opens(); got != 1 {
+		t.Errorf("opens = %d, want 1", got)
+	}
+}
+
+// TestBreakerSuccessResetsStreak: interleaved successes keep the breaker
+// closed indefinitely — only *consecutive* failures open it.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := testBreaker()
+	for i := 0; i < 10; i++ {
+		b.Allow()
+		b.Failure()
+		b.Allow()
+		b.Failure()
+		b.Allow()
+		b.Success()
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (streak never reached 3)", got)
+	}
+	if got := b.Opens(); got != 0 {
+		t.Errorf("opens = %d, want 0", got)
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one probe is
+// admitted; its success closes the breaker, and concurrent requests
+// during the probe are refused.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := testBreaker()
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Failure()
+	}
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the half-open probe")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Error("second request admitted while the probe is in flight")
+	}
+	b.Success()
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Error("closed breaker refused")
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failed probe re-opens for a fresh
+// cooldown.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := testBreaker()
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.Failure()
+	}
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Failure()
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Error("re-opened breaker allowed a request before its new cooldown")
+	}
+	clk.Advance(2 * time.Second)
+	if !b.Allow() {
+		t.Error("second cooldown did not admit a new probe")
+	}
+	if got := b.Opens(); got != 2 {
+		t.Errorf("opens = %d, want 2", got)
+	}
+}

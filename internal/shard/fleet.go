@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Fleet spawns and supervises a multi-replica cratd deployment plus the
+// cratgw gateway fronting it, for cratload's -replicas mode and the
+// shard-smoke chaos run: SIGKILL a replica mid-load, restart it on the
+// same address with the same (warm) cache journal, and prove clients
+// never noticed.
+type FleetConfig struct {
+	// Dir holds per-replica cache dirs, addr files, and logs.
+	Dir string
+	// CratdBin / GatewayBin are the binaries to exec.
+	CratdBin   string
+	GatewayBin string
+	// Replicas is the cratd process count (>= 1).
+	Replicas int
+	// Verify passes -verify to the replicas (default off: the smoke
+	// wants throughput, and the oracle is covered elsewhere).
+	Verify bool
+	// HedgeAfter configures the gateway's tail-latency hedge (0 = off).
+	HedgeAfter time.Duration
+	// ExtraGatewayArgs append to the cratgw invocation.
+	ExtraGatewayArgs []string
+}
+
+type fleetProc struct {
+	cmd    *exec.Cmd
+	addr   string // bound host:port
+	args   []string
+	log    *os.File
+	exited bool // killed (and Waited) without a restart since
+}
+
+// Fleet is a running deployment. Always call Stop.
+type Fleet struct {
+	cfg      FleetConfig
+	replicas []*fleetProc
+	gateway  *fleetProc
+}
+
+// StartFleet launches cfg.Replicas cratd processes on ephemeral ports
+// (each with its own cache journal) and a cratgw fronting them, waiting
+// until every process has written its addr file.
+func StartFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("fleet needs at least 1 replica")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	f := &Fleet{cfg: cfg}
+	for i := 0; i < cfg.Replicas; i++ {
+		args := []string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", filepath.Join(cfg.Dir, fmt.Sprintf("addr-%d", i)),
+			"-cache", filepath.Join(cfg.Dir, fmt.Sprintf("cache-%d", i)),
+			"-drain-grace", "300ms",
+			fmt.Sprintf("-verify=%t", cfg.Verify),
+		}
+		p, err := f.spawn(cfg.CratdBin, args, filepath.Join(cfg.Dir, fmt.Sprintf("cratd-%d.log", i)),
+			filepath.Join(cfg.Dir, fmt.Sprintf("addr-%d", i)))
+		if err != nil {
+			f.Stop()
+			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		f.replicas = append(f.replicas, p)
+	}
+	urls := make([]string, len(f.replicas))
+	for i, p := range f.replicas {
+		urls[i] = "http://" + p.addr
+	}
+	gwArgs := []string{
+		"-addr", "127.0.0.1:0",
+		"-addr-file", filepath.Join(cfg.Dir, "gw-addr"),
+		"-replicas", strings.Join(urls, ","),
+	}
+	if cfg.HedgeAfter > 0 {
+		gwArgs = append(gwArgs, "-hedge-after", cfg.HedgeAfter.String())
+	}
+	gwArgs = append(gwArgs, cfg.ExtraGatewayArgs...)
+	p, err := f.spawn(cfg.GatewayBin, gwArgs, filepath.Join(cfg.Dir, "cratgw.log"),
+		filepath.Join(cfg.Dir, "gw-addr"))
+	if err != nil {
+		f.Stop()
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+	f.gateway = p
+	return f, nil
+}
+
+// spawn execs bin with args, streaming output to logPath, and waits for
+// addrFile to appear (the daemons write it once listening).
+func (f *Fleet) spawn(bin string, args []string, logPath, addrFile string) (*fleetProc, error) {
+	os.Remove(addrFile)
+	logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return nil, err
+	}
+	addr, err := waitAddrFile(addrFile, 10*time.Second)
+	if err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		logf.Close()
+		return nil, fmt.Errorf("%s did not come up: %w (log: %s)", bin, err, logPath)
+	}
+	return &fleetProc{cmd: cmd, addr: addr, args: args, log: logf}, nil
+}
+
+func waitAddrFile(path string, budget time.Duration) (string, error) {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+			return strings.TrimSpace(string(data)), nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return "", fmt.Errorf("no addr file %s within %s", path, budget)
+}
+
+// GatewayURL is the load target.
+func (f *Fleet) GatewayURL() string { return "http://" + f.gateway.addr }
+
+// ReplicaURL returns replica i's base URL.
+func (f *Fleet) ReplicaURL(i int) string { return "http://" + f.replicas[i].addr }
+
+// NumReplicas returns the replica count.
+func (f *Fleet) NumReplicas() int { return len(f.replicas) }
+
+// KillReplica SIGKILLs replica i — no drain, no flush, the crash the
+// gateway must absorb.
+func (f *Fleet) KillReplica(i int) error {
+	p := f.replicas[i]
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	p.cmd.Wait()
+	p.exited = true
+	return nil
+}
+
+// RestartReplica re-execs a killed replica on its ORIGINAL address (the
+// port is free again) with its original cache directory: the ring
+// re-admits it unchanged and its journal serves its shard warm.
+func (f *Fleet) RestartReplica(i int) error {
+	p := f.replicas[i]
+	args := make([]string, len(p.args))
+	copy(args, p.args)
+	for j := 0; j+1 < len(args); j++ {
+		if args[j] == "-addr" {
+			args[j+1] = p.addr
+		}
+	}
+	addrFile := ""
+	for j := 0; j+1 < len(args); j++ {
+		if args[j] == "-addr-file" {
+			addrFile = args[j+1]
+		}
+	}
+	// The port was held by the killed process; rebinding can race its
+	// teardown briefly, so retry within a small budget.
+	var lastErr error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		cmd := exec.Command(f.cfg.CratdBin, args...)
+		cmd.Stdout = p.log
+		cmd.Stderr = p.log
+		os.Remove(addrFile)
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		addr, err := waitAddrFile(addrFile, 3*time.Second)
+		if err == nil && addr == p.addr {
+			p.cmd = cmd
+			p.exited = false
+			return nil
+		}
+		lastErr = err
+		if err == nil {
+			lastErr = fmt.Errorf("restarted replica bound %s, want %s", addr, p.addr)
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("restarting replica %d: %w", i, lastErr)
+}
+
+// Stop SIGTERMs the gateway then every replica and waits for clean
+// exits, returning the first failure (a replica that did not drain
+// cleanly exits nonzero, failing the smoke).
+func (f *Fleet) Stop() error {
+	var firstErr error
+	stop := func(name string, p *fleetProc) {
+		if p == nil || p.cmd == nil || p.cmd.Process == nil || p.exited {
+			return
+		}
+		p.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- p.cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil && firstErr == nil && !strings.Contains(err.Error(), "killed") {
+				firstErr = fmt.Errorf("%s: %w", name, err)
+			}
+		case <-time.After(20 * time.Second):
+			p.cmd.Process.Kill()
+			<-done
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s did not drain within 20s", name)
+			}
+		}
+		if p.log != nil {
+			p.log.Close()
+			p.log = nil
+		}
+	}
+	stop("cratgw", f.gateway)
+	for i, p := range f.replicas {
+		stop(fmt.Sprintf("cratd-%d", i), p)
+	}
+	return firstErr
+}

@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// HealthConfig tunes the active prober. Each replica is probed on its
+// own goroutine every Period: GET /readyz, where anything but a timely
+// 200 is a failure. A replica leaves the routing ring after
+// UnhealthyAfter consecutive failures and rejoins after HealthyAfter
+// consecutive successes — the hysteresis keeps a flapping replica from
+// churning the ring (and remapping its keys) on every blip.
+//
+// Probing /readyz rather than /healthz is deliberate: a draining cratd
+// flips /readyz to 503 while /healthz stays 200 (Config.DrainGrace holds
+// the listener open so the flip is observable), so the gateway stops
+// routing to a draining replica before its listener ever closes.
+type HealthConfig struct {
+	// Period between probes of one replica (default 250ms).
+	Period time.Duration
+	// Timeout bounds one probe (default 1s).
+	Timeout time.Duration
+	// UnhealthyAfter consecutive probe failures eject (default 2);
+	// HealthyAfter consecutive successes re-admit (default 2).
+	UnhealthyAfter int
+	HealthyAfter   int
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.Period <= 0 {
+		c.Period = 250 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.UnhealthyAfter <= 0 {
+		c.UnhealthyAfter = 2
+	}
+	if c.HealthyAfter <= 0 {
+		c.HealthyAfter = 2
+	}
+	return c
+}
+
+// probeLoop drives one replica's health state until ctx is done.
+func (g *Gateway) probeLoop(ctx context.Context, rep *replica) {
+	defer g.probeGroup.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-g.cfg.Clock.After(g.cfg.Health.Period):
+		}
+		if g.probeOnce(ctx, rep) {
+			rep.consecFails = 0
+			rep.consecOKs++
+			if !rep.healthy.Load() && rep.consecOKs >= g.cfg.Health.HealthyAfter {
+				rep.healthy.Store(true)
+				g.ring.Add(rep.url)
+				g.logf("replica %s healthy again (%d consecutive probes): re-admitted to ring", rep.url, rep.consecOKs)
+			}
+		} else {
+			rep.consecOKs = 0
+			rep.consecFails++
+			rep.probeFailures.Add(1)
+			if rep.healthy.Load() && rep.consecFails >= g.cfg.Health.UnhealthyAfter {
+				rep.healthy.Store(false)
+				rep.ejections.Add(1)
+				g.ring.Remove(rep.url)
+				g.logf("replica %s unhealthy (%d consecutive probe failures): ejected from ring", rep.url, rep.consecFails)
+			}
+		}
+	}
+}
+
+// probeOnce reports whether one /readyz probe succeeded.
+func (g *Gateway) probeOnce(ctx context.Context, rep *replica) bool {
+	pctx, cancel := context.WithTimeout(ctx, g.cfg.Health.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.url+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

@@ -1,0 +1,174 @@
+// Package shard is the multi-replica service layer for cratd: a
+// consistent-hash ring that places each content-addressed compile on a
+// stable replica (keeping that replica's memory/journal cache tiers hot
+// for the key), per-replica health checking and circuit breaking, and
+// the cratgw gateway that routes, retries, fails over, and hedges across
+// the fleet. See DESIGN.md §15.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// DefaultVnodes is the virtual-node count per replica. 256 points per
+// member keeps the per-replica share of a uniform keyspace within a few
+// percent standard deviation of fair (share stddev ≈ fair/√vnodes), so
+// no replica's cache working set or compile load is accidentally 2× the
+// others'.
+const DefaultVnodes = 256
+
+// Ring is a consistent-hash ring over replica names. Each member
+// contributes vnodes points placed by sha256(name#i); a key is owned by
+// the first point at or after sha256(key) walking clockwise. Membership
+// changes move only the keys owned by the added/removed member (the
+// minimal-remap property the ring tests pin), so a replica rejoining
+// after a crash re-serves exactly its old shard — warm.
+//
+// Ring is safe for concurrent use: lookups take a read lock over an
+// immutable sorted point slice that membership changes rebuild.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	// points is sorted by hash; owners[i] names the member that placed
+	// points[i].
+	points  []uint64
+	owners  []string
+	members map[string]bool
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member (<=0 uses DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+func pointHash(name string, i int) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(i))
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{'#'})
+	h.Write(buf[:])
+	return binary.BigEndian.Uint64(h.Sum(nil))
+}
+
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:])
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[name] {
+		return
+	}
+	r.members[name] = true
+	r.rebuild()
+}
+
+// Remove ejects a member (idempotent).
+func (r *Ring) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[name] {
+		return
+	}
+	delete(r.members, name)
+	r.rebuild()
+}
+
+// rebuild recomputes the sorted point set; callers hold the write lock.
+// Point hashes are deterministic per (name, index), so add-after-remove
+// restores the exact prior assignment.
+func (r *Ring) rebuild() {
+	n := len(r.members) * r.vnodes
+	r.points = make([]uint64, 0, n)
+	r.owners = make([]string, 0, n)
+	type pt struct {
+		h     uint64
+		owner string
+	}
+	pts := make([]pt, 0, n)
+	for name := range r.members {
+		for i := 0; i < r.vnodes; i++ {
+			pts = append(pts, pt{pointHash(name, i), name})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		// A 64-bit collision between members is astronomically unlikely,
+		// but break the tie deterministically anyway.
+		return pts[i].owner < pts[j].owner
+	})
+	for _, p := range pts {
+		r.points = append(r.points, p.h)
+		r.owners = append(r.owners, p.owner)
+	}
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for name := range r.members {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Primary returns the key's owner, or false on an empty ring.
+func (r *Ring) Primary(key string) (string, bool) {
+	owners := r.Lookup(key, 1)
+	if len(owners) == 0 {
+		return "", false
+	}
+	return owners[0], true
+}
+
+// Lookup returns up to n distinct members in ring order starting from
+// the key's owner: element 0 is the primary, element 1 the first
+// failover target, and so on. n <= 0 returns every member. The failover
+// order is itself consistent — a key's secondary is stable across
+// lookups, so a failed-over compile still lands on one warm cache, not a
+// random one.
+func (r *Ring) Lookup(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := keyHash(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i] >= h })
+	seen := make(map[string]bool, n)
+	out := make([]string, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		owner := r.owners[(idx+i)%len(r.points)]
+		if !seen[owner] {
+			seen[owner] = true
+			out = append(out, owner)
+		}
+	}
+	return out
+}
