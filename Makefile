@@ -11,6 +11,7 @@ ORACLEDIR := /tmp/crat-oracle-smoke
 GOLDENDIR := /tmp/crat-golden-diff
 SVCDIR := /tmp/crat-service-smoke
 SHARDDIR := /tmp/crat-shard-smoke
+CHAOSDIR := /tmp/crat-chaos-smoke
 
 # Normalization for golden-output comparison: drop the wall-clock footer,
 # mask duration tokens (the overhead table's profiling/static wall columns
@@ -19,7 +20,7 @@ SHARDDIR := /tmp/crat-shard-smoke
 # tracks the width of the masked durations).
 NORM = sed -E -e '/^done in /d' -e 's/[0-9]+(\.[0-9]+)?(µs|ms|m?s)\b/DUR/g' -e 's/ +/ /g' -e 's/ +$$//'
 
-.PHONY: all build vet test race race-harness bench-smoke perf-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke shard-smoke golden-diff golden-regen ci
+.PHONY: all build vet test race race-harness bench-smoke perf-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke shard-smoke chaos-smoke golden-diff golden-regen ci
 
 all: build
 
@@ -66,25 +67,35 @@ bench-json:
 
 # Checkpoint round-trip smoke: run two experiments clean, re-run them with
 # -checkpoint and kill the process mid-flight (SIGINT, as a user would), then
-# -resume and require the resumed output byte-identical to the clean run.
-# Guards the whole durability stack end to end: signal handling, journal
-# atomicity, manifest validation, and deterministic decision rebuild.
+# tear the tail off one journal (the torn final record a power cut leaves)
+# before the -resume, and require the resumed output byte-identical to the
+# clean run with the salvage reported. Guards the whole durability stack end
+# to end: signal handling, journal atomicity, torn-tail salvage, manifest
+# validation, and deterministic decision rebuild.
 checkpoint-smoke:
 	rm -rf $(SMOKEDIR) && mkdir -p $(SMOKEDIR)
 	$(GO) build -o $(SMOKEDIR)/experiments ./cmd/experiments
 	$(SMOKEDIR)/experiments -run fig12,fig8 -j 4 > $(SMOKEDIR)/clean.txt
 	-timeout -s INT 6 $(SMOKEDIR)/experiments -run fig12,fig8 -j 4 -checkpoint $(SMOKEDIR)/ck > $(SMOKEDIR)/killed.txt
+	JL=$$(ls $(SMOKEDIR)/ck/*/journal.log 2>/dev/null | head -1); \
+	[ -n "$$JL" ] || { echo "checkpoint-smoke: no journal written by the killed run"; exit 1; }; \
+	truncate -s -7 $$JL; \
+	echo "checkpoint-smoke: tore 7 bytes off $$JL"
 	$(SMOKEDIR)/experiments -run fig12,fig8 -j 4 -checkpoint $(SMOKEDIR)/ck -resume > $(SMOKEDIR)/resumed.txt
+	grep -q '^checkpoint: .* salvaged' $(SMOKEDIR)/resumed.txt
 	grep -v '^done in\|^checkpoint:' $(SMOKEDIR)/clean.txt > $(SMOKEDIR)/clean.norm
 	grep -v '^done in\|^checkpoint:' $(SMOKEDIR)/resumed.txt > $(SMOKEDIR)/resumed.norm
 	diff $(SMOKEDIR)/clean.norm $(SMOKEDIR)/resumed.norm
-	@echo "checkpoint-smoke: resumed output is byte-identical to the clean run"
+	@echo "checkpoint-smoke: resumed output byte-identical to the clean run, torn tail salvaged"
 
 # Short fuzz runs of the kernel and module parsers (no-panic + print/parse
-# round-trip properties). Seeds come from the workload kernels and ptxgen.
+# round-trip properties) and of the checkpoint journal decoder (salvage
+# invariants hold on arbitrary corruption; clean images round-trip).
+# Seeds come from the workload kernels, ptxgen, and crafted journal images.
 fuzz-smoke:
 	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParse$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/ptx/ -run='^$$' -fuzz=FuzzParseModule -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/checkpoint/ -run='^$$' -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME)
 
 # Differential-oracle smoke: the zero-divergence sweep over every seed
 # workload at its full launch grid (the in-tree test run shrinks grids for
@@ -171,6 +182,24 @@ shard-smoke:
 	grep -q 'drained cleanly' $(SHARDDIR)/base/cratgw.log
 	@echo "shard-smoke: chaos kill absorbed with zero client-visible failures; Decisions byte-identical to the single-replica baseline"
 
+# Chaos matrix smoke: every fault kind x lifecycle phase, each cell a
+# fresh 2-replica fleet under load with deterministic fault injection
+# (internal/faultinject) — SIGKILL, torn journal, ENOSPC, fsync failure,
+# connection resets, latency spikes — crossed with during-load,
+# during-drain (SIGTERM mid-load), and during-restart. Every cell must
+# show zero client-visible failures and Decision digests byte-identical
+# to a fault-free baseline; torn-journal cells must report a salvage and
+# conn-reset cells at least one failover. See DESIGN.md §16.
+chaos-smoke:
+	rm -rf $(CHAOSDIR) && mkdir -p $(CHAOSDIR)
+	$(GO) build -o $(CHAOSDIR)/cratd ./cmd/cratd
+	$(GO) build -o $(CHAOSDIR)/cratgw ./cmd/cratgw
+	$(GO) build -o $(CHAOSDIR)/cratload ./cmd/cratload
+	$(CHAOSDIR)/cratload -chaos-matrix -fleet-dir $(CHAOSDIR)/run \
+		-cratd-bin $(CHAOSDIR)/cratd -cratgw-bin $(CHAOSDIR)/cratgw \
+		-n 48 -c 8 -kernels 12 -seed 7
+	@echo "chaos-smoke: all fault x phase cells held the zero-visible-failure contract"
+
 # Golden-output regression guard: re-render every experiment table and diff
 # against the committed experiments_output.txt (durations normalized, see
 # NORM). The full sweep is deterministic — any diff is a real behavior
@@ -187,4 +216,4 @@ golden-diff:
 golden-regen:
 	$(GO) run ./cmd/experiments -run all > experiments_output.txt
 
-ci: vet build race race-harness checkpoint-smoke bench-smoke perf-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke shard-smoke golden-diff
+ci: vet build race race-harness checkpoint-smoke bench-smoke perf-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke shard-smoke chaos-smoke golden-diff

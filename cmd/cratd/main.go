@@ -7,7 +7,7 @@
 //
 //	cratd [-addr 127.0.0.1:8177] [-cache DIR] [-queue N] [-workers N]
 //	      [-deadline 30s] [-max-deadline 2m] [-drain 15s] [-drain-grace 0]
-//	      [-verify] [-addr-file PATH] [-version]
+//	      [-verify] [-fault SPEC] [-addr-file PATH] [-version]
 //
 // Endpoints:
 //
@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"crat/internal/buildinfo"
+	"crat/internal/faultinject"
 	"crat/internal/pool"
 	"crat/internal/server"
 )
@@ -49,6 +50,7 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM before giving up on in-flight requests")
 	drainGrace := flag.Duration("drain-grace", 0, "hold the listener open (readyz already 503) for this long at drain start, so a gateway health check observes not-ready before connections are refused")
 	verify := flag.Bool("verify", true, "run the differential oracle on every compile by default (requests may override)")
+	fault := flag.String("fault", "", "deterministic fault-injection spec for the cache filesystem, e.g. 'fsync-fail:nth=5;enospc:after=6,count=3' (chaos testing; see internal/faultinject)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -58,6 +60,15 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "cratd: ", log.LstdFlags|log.Lmsgprefix)
+	var faultFS faultinject.FS
+	if *fault != "" {
+		sc, err := faultinject.Parse(*fault)
+		if err != nil {
+			logger.Fatalf("-fault: %v", err)
+		}
+		faultFS = faultinject.NewFS(faultinject.OS(), sc)
+		logger.Printf("fault injection armed: %s", sc)
+	}
 	srv, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueCapacity:   *queue,
@@ -66,6 +77,7 @@ func main() {
 		CacheDir:        *cacheDir,
 		VerifyDefault:   *verify,
 		DrainGrace:      *drainGrace,
+		FS:              faultFS,
 		Log:             logger,
 	})
 	if err != nil {

@@ -16,7 +16,7 @@
 //	       [-probe-period 250ms] [-probe-timeout 1s]
 //	       [-unhealthy-after 2] [-healthy-after 2]
 //	       [-breaker-failures 3] [-breaker-cooldown 2s]
-//	       [-retries 2] [-hedge-after 0] [-drain 15s] [-version]
+//	       [-retries 2] [-hedge-after 0] [-drain 15s] [-fault SPEC] [-version]
 //
 // Endpoints:
 //
@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"crat/internal/buildinfo"
+	"crat/internal/faultinject"
 	"crat/internal/retry"
 	"crat/internal/shard"
 )
@@ -60,6 +62,7 @@ func main() {
 	retries := flag.Int("retries", 2, "retries per request beyond the first attempt (failover/backoff budget)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "tail-latency hedge: issue a second attempt to the failover replica after this delay (0 = off; derive from the fleet's p99)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM")
+	fault := flag.String("fault", "", "deterministic fault-injection spec for replica-bound requests, e.g. 'conn-reset:nth=20,count=3;latency:every=6,delay=200ms' (chaos testing; see internal/faultinject)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -78,6 +81,15 @@ func main() {
 	if len(urls) == 0 {
 		logger.Fatal("at least one -replicas URL is required")
 	}
+	var transport http.RoundTripper
+	if *fault != "" {
+		sc, err := faultinject.Parse(*fault)
+		if err != nil {
+			logger.Fatalf("-fault: %v", err)
+		}
+		transport = faultinject.NewTransport(nil, sc)
+		logger.Printf("fault injection armed: %s", sc)
+	}
 
 	gw, err := shard.NewGateway(shard.GatewayConfig{
 		Replicas: urls,
@@ -94,6 +106,7 @@ func main() {
 		},
 		Retry:      retry.Policy{MaxAttempts: *retries + 1},
 		HedgeAfter: *hedgeAfter,
+		Transport:  transport,
 		Log:        logger,
 	})
 	if err != nil {

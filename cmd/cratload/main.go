@@ -27,6 +27,14 @@
 // canonical digest line per corpus entry, so a multi-replica chaos run
 // can be diffed byte-for-byte against a single-replica baseline.
 //
+// With -chaos-matrix cratload instead drives the full chaos scenario
+// matrix — {sigkill, torn-journal, enospc, fsync-fail, conn-reset,
+// latency} x {during-load, during-drain, during-restart} — each cell
+// against a fresh 2-replica fleet with deterministic fault-injection
+// specs (see internal/faultinject), asserting zero client-visible
+// failures and Decision digests byte-identical to a fault-free
+// baseline. `make chaos-smoke` is this mode.
+//
 // The corpus is fully determined by -seed/-kernels/-block: re-running
 // the same invocation against a warm daemon is answered entirely from
 // cache, which `make service-smoke` uses to prove restarts re-simulate
@@ -80,6 +88,7 @@ func main() {
 	hedgeAfter := flag.Duration("hedge-after", 0, "gateway tail-latency hedge delay in -replicas mode (0 = off)")
 	chaos := flag.Bool("chaos", false, "SIGKILL a random replica mid-load and restart it (requires -replicas >= 2)")
 	chaosDelay := flag.Duration("chaos-delay", 500*time.Millisecond, "how far into the load the chaos kill strikes")
+	chaosMatrix := flag.Bool("chaos-matrix", false, "run the full fault x phase chaos matrix against fresh fleets (uses -cratd-bin/-cratgw-bin/-fleet-dir/-n/-c/-kernels/-seed) and exit")
 	flag.Parse()
 
 	if *version {
@@ -89,6 +98,29 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *chaosMatrix {
+		if *fleetDir == "" {
+			fmt.Fprintln(os.Stderr, "cratload: -chaos-matrix requires -fleet-dir")
+			os.Exit(1)
+		}
+		err := shard.RunChaosMatrix(ctx, shard.ChaosMatrixConfig{
+			Dir:         *fleetDir,
+			CratdBin:    *cratdBin,
+			GatewayBin:  *cratgwBin,
+			Requests:    *n,
+			Concurrency: *c,
+			Kernels:     *kernels,
+			Seed:        *seed,
+			Log:         os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cratload:", err)
+			os.Exit(1)
+		}
+		fmt.Println("chaos-matrix: all cells passed")
+		return
+	}
 
 	target := *addr
 	var fleet *shard.Fleet

@@ -1,0 +1,211 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "fsync-fail:nth=5,count=2;torn-write:nth=3,keep=12;enospc:after=6;latency:every=4,delay=150ms"
+	sc, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(sc.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", sc.String(), err)
+	}
+	if got, want := back.String(), sc.String(); got != want {
+		t.Errorf("round trip %q != %q", got, want)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"explode:nth=1",              // unknown kind
+		"fsync-fail:bogus=1",         // unknown parameter
+		"fsync-fail",                 // no trigger
+		"fsync-fail:nth=x",           // bad int
+		"latency:every=2,delay=soon", // bad duration
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+	if sc, err := Parse(""); err != nil || sc.Active() {
+		t.Errorf("empty spec: sc=%v err=%v, want inert scenario", sc, err)
+	}
+}
+
+func TestNilScenarioIsInert(t *testing.T) {
+	var sc *Scenario
+	if sc.Active() || sc.Fired(KindFsyncFail) != 0 || sc.String() != "" {
+		t.Error("nil scenario is not inert")
+	}
+	if _, ok := sc.hit(KindFsyncFail); ok {
+		t.Error("nil scenario fired")
+	}
+}
+
+// TestFsyncFailNth: exactly the Nth..Nth+count-1 syncs fail, shared
+// across file and directory syncs, deterministically.
+func TestFsyncFailNth(t *testing.T) {
+	dir := t.TempDir()
+	sc := MustParse("fsync-fail:nth=2,count=2")
+	fs := NewFS(OS(), sc)
+	f, err := fs.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var errs []error
+	for i := 0; i < 4; i++ {
+		errs = append(errs, f.Sync())
+	}
+	for i, want := range []bool{false, true, true, false} {
+		if got := errs[i] != nil; got != want {
+			t.Errorf("sync %d: err=%v, want failure=%t", i+1, errs[i], want)
+		}
+	}
+	if !errors.Is(errs[1], syscall.EIO) {
+		t.Errorf("injected fsync error %v is not EIO", errs[1])
+	}
+	if sc.Fired(KindFsyncFail) != 2 {
+		t.Errorf("fired = %d, want 2", sc.Fired(KindFsyncFail))
+	}
+}
+
+// TestTornWrite: the Nth write persists only its keep-prefix while the
+// caller is told it fully succeeded — a power cut the process never saw.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	sc := MustParse("torn-write:nth=2,keep=3")
+	fs := NewFS(OS(), sc)
+	path := filepath.Join(dir, "x")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []string{"aaaa", "bbbb", "cccc"} {
+		n, err := f.Write([]byte(chunk))
+		if err != nil || n != 4 {
+			t.Fatalf("write %q = %d, %v; the tear must be invisible to the writer", chunk, n, err)
+		}
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if got, want := string(data), "aaaabbbcccc"; got != want {
+		t.Errorf("on-disk bytes %q, want %q", got, want)
+	}
+}
+
+// TestENOSPCAfter: writes past the threshold fail with ENOSPC until the
+// count budget is spent, then the disk "recovers".
+func TestENOSPCAfter(t *testing.T) {
+	dir := t.TempDir()
+	sc := MustParse("enospc:after=1,count=2")
+	fs := NewFS(OS(), sc)
+	f, err := fs.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var errs []error
+	for i := 0; i < 4; i++ {
+		_, err := f.Write([]byte("x"))
+		errs = append(errs, err)
+	}
+	for i, want := range []bool{false, true, true, false} {
+		if got := errs[i] != nil; got != want {
+			t.Errorf("write %d: err=%v, want failure=%t", i+1, errs[i], want)
+		}
+	}
+	if !errors.Is(errs[1], syscall.ENOSPC) {
+		t.Errorf("injected write error %v is not ENOSPC", errs[1])
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFS(OS(), MustParse("short-read:nth=1,keep=4"))
+	data, err := fs.ReadFile(path)
+	if err != nil || string(data) != "0123" {
+		t.Errorf("short read = %q, %v; want %q", data, err, "0123")
+	}
+	data, err = fs.ReadFile(path)
+	if err != nil || string(data) != "0123456789" {
+		t.Errorf("second read = %q, %v; want full contents", data, err)
+	}
+}
+
+// TestCountersAreConcurrencySafe: N goroutines sharing one scenario fire
+// exactly the configured number of faults, no matter the interleaving.
+func TestCountersAreConcurrencySafe(t *testing.T) {
+	sc := MustParse("fsync-fail:nth=10,count=5")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				sc.hit(KindFsyncFail)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sc.Fired(KindFsyncFail); got != 5 {
+		t.Errorf("fired = %d, want exactly 5 across 80 concurrent calls", got)
+	}
+}
+
+func TestTransportConnReset(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	sc := MustParse("conn-reset:every=2")
+	client := &http.Client{Transport: NewTransport(nil, sc)}
+	var errs []error
+	for i := 0; i < 4; i++ {
+		resp, err := client.Get(srv.URL)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errs = append(errs, err)
+	}
+	for i, want := range []bool{false, true, false, true} {
+		if got := errs[i] != nil; got != want {
+			t.Errorf("request %d: err=%v, want reset=%t", i+1, errs[i], want)
+		}
+	}
+	if !errors.Is(errs[1], syscall.ECONNRESET) {
+		t.Errorf("injected transport error %v is not ECONNRESET", errs[1])
+	}
+	if sc.Fired(KindConnReset) != 2 {
+		t.Errorf("fired = %d, want 2", sc.Fired(KindConnReset))
+	}
+}
+
+func TestTransportLatencyRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	sc := MustParse("latency:every=1,delay=10s")
+	client := &http.Client{Transport: NewTransport(nil, sc), Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("request under a 10s injected stall returned before its 50ms deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("canceled request still took %s; the stall ignored the context", elapsed)
+	}
+}

@@ -1,0 +1,161 @@
+package faultinject
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// FS is the filesystem seam the checkpoint journal writes through. It is
+// deliberately the small set of operations a crash-safe journal needs —
+// append, fsync, atomic rename, directory sync — so every durability
+// decision flows through a single interceptable surface.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	// OpenFile opens name for writing (append or truncate per flag).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp mirrors os.CreateTemp for atomic write-then-rename.
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Glob(pattern string) ([]string, error)
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory so a rename or create within it is
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable-file surface of FS.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// OS returns the passthrough FS over the real filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Glob(pattern string) ([]string, error)        { return filepath.Glob(pattern) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// NewFS wraps inner with sc's filesystem fault rules. A nil or rule-less
+// scenario passes everything through untouched.
+func NewFS(inner FS, sc *Scenario) FS {
+	if !sc.Active() {
+		return inner
+	}
+	return &faultFS{inner: inner, sc: sc}
+}
+
+type faultFS struct {
+	inner FS
+	sc    *Scenario
+}
+
+func (f *faultFS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *faultFS) Rename(oldpath, newpath string) error         { return f.inner.Rename(oldpath, newpath) }
+func (f *faultFS) Remove(name string) error                     { return f.inner.Remove(name) }
+func (f *faultFS) Glob(pattern string) ([]string, error)        { return f.inner.Glob(pattern) }
+func (f *faultFS) Stat(name string) (fs.FileInfo, error)        { return f.inner.Stat(name) }
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	data, err := f.inner.ReadFile(name)
+	if err != nil {
+		return data, err
+	}
+	if r, ok := f.sc.hit(KindShortRead); ok {
+		keep := r.Keep
+		if keep < 0 || keep > len(data) {
+			keep = len(data) / 2
+		}
+		return data[:keep], nil
+	}
+	return data, err
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, sc: f.sc}, nil
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, sc: f.sc}, nil
+}
+
+func (f *faultFS) SyncDir(dir string) error {
+	if _, ok := f.sc.hit(KindFsyncFail); ok {
+		return fmt.Errorf("faultinject: injected dir-fsync failure on %s: %w", dir, syscall.EIO)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile intercepts Write and Sync on one file. The write counter is
+// scenario-global (not per-file), so "the 5th write" means the 5th write
+// the whole store issued — the deterministic frame of reference a
+// replayable chaos scenario needs.
+type faultFile struct {
+	File
+	sc *Scenario
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if r, ok := f.sc.hit(KindENOSPC); ok {
+		_ = r
+		return 0, fmt.Errorf("faultinject: injected write failure on %s: %w", f.Name(), syscall.ENOSPC)
+	}
+	if r, ok := f.sc.hit(KindTornWrite); ok {
+		keep := r.Keep
+		if keep < 0 || keep > len(p) {
+			keep = len(p) / 2
+		}
+		// The torn prefix really lands on disk, and the caller is told the
+		// whole write succeeded — exactly what a power cut mid-write looks
+		// like to the process that never got to observe it.
+		if _, err := f.File.Write(p[:keep]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if _, ok := f.sc.hit(KindFsyncFail); ok {
+		return fmt.Errorf("faultinject: injected fsync failure on %s: %w", f.Name(), syscall.EIO)
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,51 @@
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+// NewTransport wraps base with sc's transport fault rules: conn-reset
+// fails the matching requests with ECONNRESET before they leave the
+// process (the caller sees the same error shape a mid-flight RST
+// produces), and latency stalls matching requests for the rule's delay
+// (respecting the request context, so a hedged or deadlined caller is
+// never held hostage). A nil or rule-less scenario returns base
+// untouched.
+func NewTransport(base http.RoundTripper, sc *Scenario) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if !sc.Active() {
+		return base
+	}
+	return &faultTransport{base: base, sc: sc}
+}
+
+type faultTransport struct {
+	base http.RoundTripper
+	sc   *Scenario
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if r, ok := t.sc.hit(KindLatency); ok {
+		delay := r.Delay
+		if delay <= 0 {
+			delay = 100 * time.Millisecond
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if _, ok := t.sc.hit(KindConnReset); ok {
+		return nil, fmt.Errorf("faultinject: injected connection reset to %s: %w",
+			req.URL.Host, syscall.ECONNRESET)
+	}
+	return t.base.RoundTrip(req)
+}

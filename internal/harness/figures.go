@@ -368,8 +368,11 @@ func (s *Session) Figure8() (*Table, error) {
 	}
 	t.AddRow(fmt.Sprintf("default reg=%d", a.DefaultReg), fmt.Sprintf("(%d,%d)", a.DefaultReg, defTLP),
 		fmt.Sprint(baseSt.Cycles), "1.000")
-	for tlp, reg := range stairs {
-		if reg == a.DefaultReg || tlp > a.OptTLP {
+	// Ascending TLP, not map order: the table is diffed against a golden,
+	// so emission order must be deterministic.
+	for tlp := 1; tlp <= len(stairs); tlp++ {
+		reg, ok := stairs[tlp]
+		if !ok || reg == a.DefaultReg || tlp > a.OptTLP {
 			continue
 		}
 		st, err := s.simulatePoint(app, reg, tlp)

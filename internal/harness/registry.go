@@ -137,9 +137,21 @@ func RunExperimentsCtx(ctx context.Context, ids []string, opts RunOptions, w io.
 		s.SetWorkers(opts.Workers)
 		s.SetContext(ctx)
 		if opts.CheckpointDir != "" {
-			st, err := checkpoint.Open(filepath.Join(opts.CheckpointDir, arch), s.ConfigHash(), arch, opts.Resume)
+			dir := filepath.Join(opts.CheckpointDir, arch)
+			st, err := checkpoint.Open(dir, s.ConfigHash(), arch, opts.Resume)
+			if err != nil && opts.Resume && !opts.Strict {
+				// A stale or unreadable checkpoint degrades to a fresh run:
+				// recomputing is always safe, refusing to run is not. -strict
+				// keeps the hard error for callers that depend on the resume.
+				fmt.Fprintf(w, "checkpoint: resume of %s failed (%v); starting fresh — previous results will be recomputed\n", dir, err)
+				st, err = checkpoint.Open(dir, s.ConfigHash(), arch, false)
+			}
 			if err != nil {
 				return nil, err
+			}
+			if h := st.Health(); h.SalvagedTail > 0 || h.Quarantined > 0 {
+				fmt.Fprintf(w, "checkpoint: %s salvaged: dropped %d torn record(s), quarantined %d corrupt chunk(s) (%d bytes); %d entries survive\n",
+					dir, h.SalvagedTail, h.Quarantined, h.QuarantinedBytes, h.Entries)
 			}
 			s.SetCheckpoint(st)
 		}

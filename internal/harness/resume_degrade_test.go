@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crat/internal/checkpoint"
+)
+
+// writeAlienManifest plants a checkpoint manifest keyed to a different
+// configuration, so a resume against it is stale.
+func writeAlienManifest(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	man, _ := json.Marshal(map[string]any{"version": checkpoint.Version, "key": "someone-elses-config"})
+	if err := os.WriteFile(filepath.Join(dir, checkpoint.ManifestFilename), man, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResumeDegradesToFresh: a stale checkpoint under a non-strict
+// resume recomputes instead of refusing — with a "checkpoint:" warning
+// naming the cause — while -strict keeps the hard error.
+func TestResumeDegradesToFresh(t *testing.T) {
+	dir := t.TempDir()
+	writeAlienManifest(t, filepath.Join(dir, "fermi"))
+
+	var buf strings.Builder
+	rep, err := RunExperimentsCtx(context.Background(), []string{"table2"},
+		RunOptions{Workers: 1, CheckpointDir: dir, Resume: true}, &buf)
+	if err != nil {
+		t.Fatalf("non-strict resume over a stale checkpoint failed: %v", err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Errorf("failed experiments: %v", rep.Failed)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "checkpoint: resume of") || !strings.Contains(out, "starting fresh") {
+		t.Errorf("output lacks the degrade warning:\n%s", out)
+	}
+	if rep.Loaded != 0 {
+		t.Errorf("loaded %d entries from a stale checkpoint", rep.Loaded)
+	}
+
+	// The non-strict run re-initialized dir; a strict resume needs its own
+	// stale directory to prove the hard error survives.
+	strictDir := t.TempDir()
+	writeAlienManifest(t, filepath.Join(strictDir, "fermi"))
+	var strictBuf strings.Builder
+	_, err = RunExperimentsCtx(context.Background(), []string{"table2"},
+		RunOptions{Workers: 1, CheckpointDir: strictDir, Resume: true, Strict: true}, &strictBuf)
+	if !errors.Is(err, checkpoint.ErrStale) {
+		t.Fatalf("strict resume over a stale checkpoint = %v, want ErrStale", err)
+	}
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crat/internal/checkpoint"
+	"crat/internal/faultinject"
+)
+
+func scrapeStats(t *testing.T, url string) StatsSnapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("statsz decode: %v", err)
+	}
+	return snap
+}
+
+// TestStartupColdCacheOnUnusableDir: a cache directory that cannot even
+// be created must not stop the daemon — it serves with a cold cache and
+// /statsz names the degradation.
+func TestStartupColdCacheOnUnusableDir(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "occupied")
+	if err := os.WriteFile(blocker, []byte("a file where the cache dir should be"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Workers: 2, CacheDir: blocker})
+
+	snap := scrapeStats(t, ts.URL)
+	if snap.CacheDegraded == "" {
+		t.Error("cache_degraded is empty; the unusable cache dir must be reported")
+	}
+	if snap.Journal != nil {
+		t.Error("journal health reported for a disabled persistent tier")
+	}
+
+	// The daemon still compiles — availability over durability.
+	var r CompileResponse
+	if code := post(t, ts.URL, CompileRequest{PTX: testPTX("k_cold", 8), Block: 64}, &r); code != http.StatusOK {
+		t.Fatalf("compile on a degraded daemon = %d, want 200", code)
+	}
+	if got := s.Stats().Computes.Load(); got != 1 {
+		t.Errorf("computes = %d, want 1", got)
+	}
+}
+
+// TestStartupSalvagesTornJournal: a journal torn mid-record by a crash
+// resumes with everything before the tear warm, and /statsz reports the
+// salvage instead of the daemon refusing to start.
+func TestStartupSalvagesTornJournal(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{Workers: 2, CacheDir: dir})
+	for _, name := range []string{"k_a", "k_b"} {
+		if code := post(t, ts1.URL, CompileRequest{PTX: testPTX(name, 8), Block: 64}, nil); code != http.StatusOK {
+			t.Fatalf("seeding compile %s = %d", name, code)
+		}
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	journal := filepath.Join(dir, checkpoint.JournalFilename)
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(journal, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, Config{Workers: 2, CacheDir: dir})
+	snap := scrapeStats(t, ts2.URL)
+	if snap.CacheDegraded != "" {
+		t.Fatalf("torn journal degraded the cache entirely (%s); it must salvage", snap.CacheDegraded)
+	}
+	if snap.Journal == nil || snap.Journal.SalvagedTail != 1 || snap.Journal.Quarantined != 0 {
+		t.Fatalf("journal health = %+v, want SalvagedTail=1", snap.Journal)
+	}
+	if snap.CacheLoaded != 1 {
+		t.Errorf("cache_loaded = %d, want 1 (the record before the tear)", snap.CacheLoaded)
+	}
+
+	// The surviving entry serves from the persistent tier with zero
+	// recompilation.
+	var r CompileResponse
+	if code := post(t, ts2.URL, CompileRequest{PTX: testPTX("k_a", 8), Block: 64}, &r); code != http.StatusOK {
+		t.Fatalf("compile = %d, want 200", code)
+	}
+	if r.CacheTier != "persistent" {
+		t.Errorf("salvaged entry served from %q, want the persistent tier", r.CacheTier)
+	}
+	if got := s2.Stats().Computes.Load(); got != 0 {
+		t.Errorf("computes = %d, want 0", got)
+	}
+}
+
+// TestCachePutErrorCounted: an injected fsync failure on the journal
+// append degrades durability (counted, logged) but the request still
+// gets its 200.
+func TestCachePutErrorCounted(t *testing.T) {
+	dir := t.TempDir()
+	// Fresh open costs syncs 1-2 (manifest temp + dir); the first Put's
+	// journal create is sync 3 and its record append sync 4.
+	fsys := faultinject.NewFS(faultinject.OS(), faultinject.MustParse("fsync-fail:nth=4"))
+	s, ts := newTestServer(t, Config{Workers: 2, CacheDir: dir, FS: fsys})
+
+	if code := post(t, ts.URL, CompileRequest{PTX: testPTX("k_put", 8), Block: 64}, nil); code != http.StatusOK {
+		t.Fatalf("compile under injected append failure = %d, want 200", code)
+	}
+	if got := s.Stats().CachePutErrors.Load(); got != 1 {
+		t.Errorf("cache put errors = %d, want 1", got)
+	}
+	snap := scrapeStats(t, ts.URL)
+	if snap.CachePutErrors != 1 {
+		t.Errorf("statsz cache_put_errors = %d, want 1", snap.CachePutErrors)
+	}
+	if snap.Journal == nil || snap.Journal.AppendErrors != 1 {
+		t.Errorf("journal health = %+v, want AppendErrors=1", snap.Journal)
+	}
+}

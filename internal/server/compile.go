@@ -73,11 +73,11 @@ type CompileResponse struct {
 	// Degraded is the graceful-degradation signal: the oracle caught a
 	// divergence in the optimized kernel and PTX holds the verified
 	// MaxReg baseline instead. Never a 500.
-	Degraded   bool   `json:"degraded"`
-	Divergence string `json:"divergence,omitempty"`
-	PTX        string `json:"ptx"`
-	Cached     bool   `json:"cached"`
-	CacheTier  string `json:"cache_tier,omitempty"`
+	Degraded   bool    `json:"degraded"`
+	Divergence string  `json:"divergence,omitempty"`
+	PTX        string  `json:"ptx"`
+	Cached     bool    `json:"cached"`
+	CacheTier  string  `json:"cache_tier,omitempty"`
 	ElapsedMs  float64 `json:"elapsed_ms"`
 }
 

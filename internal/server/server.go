@@ -40,6 +40,7 @@ import (
 
 	"crat/internal/buildinfo"
 	"crat/internal/checkpoint"
+	"crat/internal/faultinject"
 	"crat/internal/gpusim"
 	"crat/internal/pool"
 )
@@ -61,6 +62,10 @@ type Config struct {
 	// VerifyDefault runs the differential oracle on every compile unless
 	// the request overrides it.
 	VerifyDefault bool
+	// FS, when set, routes the persistent tier's filesystem operations
+	// through it — the deterministic fault-injection seam (cratd -fault).
+	// Nil = the real filesystem.
+	FS faultinject.FS
 	// DrainGrace holds the listener open (still answering /readyz with
 	// 503 and /healthz with 200) for this long after a drain begins,
 	// before connections stop being accepted. A gateway health-checking
@@ -104,6 +109,7 @@ type Stats struct {
 	MemoryHits       atomic.Int64 // serves from the singleflight memory tier
 	PersistentHits   atomic.Int64 // serves from the checkpoint journal
 	Computes         atomic.Int64 // actual pipeline executions (cache misses)
+	CachePutErrors   atomic.Int64 // journal appends that failed (durability degraded)
 }
 
 // StatsSnapshot is the JSON shape of GET /statsz.
@@ -126,10 +132,17 @@ type StatsSnapshot struct {
 	MemoryHits       int64   `json:"memory_hits"`
 	PersistentHits   int64   `json:"persistent_hits"`
 	Computes         int64   `json:"computes"`
+	CachePutErrors   int64   `json:"cache_put_errors"`
 	MemoryEntries    int     `json:"memory_entries"`
 	CacheEntries     int     `json:"cache_entries"`
 	CacheLoaded      int     `json:"cache_loaded"`
 	CacheDir         string  `json:"cache_dir,omitempty"`
+	// CacheDegraded names why the persistent tier is disabled (the daemon
+	// chose a cold cache over refusing to start); empty when healthy.
+	CacheDegraded string `json:"cache_degraded,omitempty"`
+	// Journal is the checkpoint store's durability report: entries
+	// loaded, salvaged torn tails, quarantined corruption, compactions.
+	Journal *checkpoint.Health `json:"journal,omitempty"`
 }
 
 // Server is the compilation service. Create with New, expose with
@@ -141,7 +154,8 @@ type Server struct {
 	queue    chan struct{} // admission tokens: waiting + compiling
 	workers  chan struct{} // compile slots
 	mem      *cells
-	store    *checkpoint.Store // nil without CacheDir
+	store    *checkpoint.Store // nil without CacheDir (or when degraded)
+	degraded string            // why the persistent tier is off ("" = healthy)
 	draining atomic.Bool
 	seq      atomic.Int64
 	start    time.Time
@@ -157,9 +171,13 @@ type Server struct {
 
 // New builds a Server. When cfg.CacheDir is set the persistent tier is
 // opened resume-first: an existing journal written by a compatible daemon
-// becomes the warm cache; a stale one (schema change) is discarded and the
-// store re-initialized. The default architecture's access costs are
-// measured eagerly so the first request doesn't pay for them.
+// becomes the warm cache (corrupt records are salvaged and quarantined by
+// the journal itself); a stale one (schema change) is discarded and the
+// store re-initialized. A cache directory that cannot be opened at all
+// does not stop the daemon: it serves with a cold cache and a loud
+// structured warning — availability over durability, and /statsz says so.
+// The default architecture's access costs are measured eagerly so the
+// first request doesn't pay for them.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.Defaults()
 	s := &Server{
@@ -175,16 +193,29 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := checkpoint.Open(cfg.CacheDir, key, "cratd", true)
-		if errors.Is(err, checkpoint.ErrStale) {
-			s.logf("cache %s is stale (%v); re-initializing", cfg.CacheDir, err)
-			st, err = checkpoint.Open(cfg.CacheDir, key, "cratd", false)
-		}
+		st, err := checkpoint.OpenFS(cfg.CacheDir, key, "cratd", true, cfg.FS)
 		if err != nil {
-			return nil, fmt.Errorf("opening cache: %w", err)
+			if errors.Is(err, checkpoint.ErrStale) {
+				s.logf("cache %s is stale (%v); re-initializing", cfg.CacheDir, err)
+			} else {
+				s.logf("WARN cache %s resume failed (%v); re-initializing", cfg.CacheDir, err)
+			}
+			st, err = checkpoint.OpenFS(cfg.CacheDir, key, "cratd", false, cfg.FS)
 		}
-		s.store = st
-		s.logf("cache %s: %d entries warm", cfg.CacheDir, st.Loaded())
+		switch {
+		case err != nil:
+			s.degraded = err.Error()
+			s.logf("WARN event=cache_degraded dir=%s err=%q — serving with cold in-memory cache only; durability disabled",
+				cfg.CacheDir, err)
+		default:
+			s.store = st
+			h := st.Health()
+			if h.SalvagedTail > 0 || h.Quarantined > 0 || h.MigratedV1 {
+				s.logf("WARN event=cache_salvaged dir=%s loaded=%d salvaged_tail=%d quarantined=%d quarantined_bytes=%d migrated_v1=%t — journal corruption contained, see %s",
+					cfg.CacheDir, h.Loaded, h.SalvagedTail, h.Quarantined, h.QuarantinedBytes, h.MigratedV1, checkpoint.QuarantineFilename)
+			}
+			s.logf("cache %s: %d entries warm", cfg.CacheDir, st.Loaded())
+		}
 	}
 	if _, err := s.costsFor(gpusim.FermiConfig()); err != nil {
 		return nil, fmt.Errorf("measuring access costs: %w", err)
@@ -262,6 +293,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if ferr := s.store.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
@@ -305,12 +339,16 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		MemoryHits:       s.stats.MemoryHits.Load(),
 		PersistentHits:   s.stats.PersistentHits.Load(),
 		Computes:         s.stats.Computes.Load(),
+		CachePutErrors:   s.stats.CachePutErrors.Load(),
 		MemoryEntries:    s.mem.len(),
+		CacheDegraded:    s.degraded,
 	}
 	if s.store != nil {
 		snap.CacheEntries = s.store.Count()
 		snap.CacheLoaded = s.store.Loaded()
 		snap.CacheDir = s.store.Dir()
+		h := s.store.Health()
+		snap.Journal = &h
 	}
 	writeJSON(w, http.StatusOK, snap)
 }
@@ -438,6 +476,7 @@ func (s *Server) compileCached(ctx context.Context, job *compileJob) (*cacheEntr
 		if s.store != nil {
 			if perr := s.store.Put(job.key, e); perr != nil {
 				// Persistence failure degrades durability, not the request.
+				s.stats.CachePutErrors.Add(1)
 				s.logf("cache put %.12s: %v", job.key, perr)
 			}
 		}

@@ -1,0 +1,338 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"crat/internal/server"
+)
+
+// The chaos scenario matrix (cratload -chaos-matrix, `make chaos-smoke`):
+// every fault kind crossed with every lifecycle phase, each cell a fresh
+// 2-replica fleet under closed-loop load, asserting the user-facing
+// contract — zero client-visible failures, zero inconsistent Decisions,
+// and Decision digests byte-identical to a fault-free single-replica
+// baseline. The faults are deterministic internal/faultinject specs (or
+// process signals), so a failing cell replays exactly.
+
+// ChaosFaults are the matrix rows. Victim replica 0 takes the
+// process/disk faults; the transport faults arm the gateway.
+var ChaosFaults = []string{
+	"sigkill",      // SIGKILL the victim, restart on the same address
+	"torn-journal", // kill, chop the journal's tail (power-cut tear), restart
+	"enospc",       // injected ENOSPC on the victim's journal appends
+	"fsync-fail",   // injected EIO on the victim's journal fsyncs
+	"conn-reset",   // injected connection resets on gateway→replica requests
+	"latency",      // injected latency spikes on gateway→replica requests
+}
+
+// ChaosPhases are the matrix columns: when the disruption lands relative
+// to the victim's lifecycle. Injected faults are armed from process
+// start and fire on their own counters; the phase decides whether a
+// graceful drain (SIGTERM) or a crash (SIGKILL) accompanies them.
+var ChaosPhases = []string{
+	"during-load",    // fault fires while load flows; no extra signal
+	"during-drain",   // victim is SIGTERMed (drains under load) and restarted
+	"during-restart", // victim is SIGKILLed and restarted mid-load
+}
+
+// ChaosMatrixConfig sizes one matrix run.
+type ChaosMatrixConfig struct {
+	// Dir holds one fleet working directory per cell.
+	Dir        string
+	CratdBin   string
+	GatewayBin string
+	// Load shape per cell (defaults: 48 requests, 8 clients, 12 kernels).
+	Requests    int
+	Concurrency int
+	Kernels     int
+	Seed        int64
+	// Faults/Phases subset the matrix (nil = full).
+	Faults []string
+	Phases []string
+	// Log receives one progress line per cell (nil = discard).
+	Log io.Writer
+}
+
+func (c ChaosMatrixConfig) withDefaults() ChaosMatrixConfig {
+	if c.Requests <= 0 {
+		c.Requests = 48
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Kernels <= 0 {
+		c.Kernels = 12
+	}
+	if len(c.Faults) == 0 {
+		c.Faults = ChaosFaults
+	}
+	if len(c.Phases) == 0 {
+		c.Phases = ChaosPhases
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// RunChaosMatrix runs every cell and returns an error naming each failed
+// cell (nil = the whole matrix held the contract). Cells run serially —
+// each gets the machine to itself, keeping latency assertions honest.
+func RunChaosMatrix(ctx context.Context, cfg ChaosMatrixConfig) error {
+	cfg = cfg.withDefaults()
+
+	// Fault-free single-replica baseline: the Decision digests every cell
+	// must reproduce byte-identically.
+	baseline, err := runMatrixCell(ctx, cfg, "baseline", "", "")
+	if err != nil {
+		return fmt.Errorf("chaos-matrix baseline: %w", err)
+	}
+	fmt.Fprintf(cfg.Log, "chaos-matrix: baseline ok (%d decisions, %d/%d ok)\n",
+		len(baseline.report.Decisions), baseline.report.OK, baseline.report.Requests)
+	want := strings.Join(baseline.report.Decisions, "\n")
+
+	var failures []string
+	for _, fault := range cfg.Faults {
+		for _, phase := range cfg.Phases {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			cell := fault + "/" + phase
+			res, err := runMatrixCell(ctx, cfg, fault+"-"+phase, fault, phase)
+			if err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", cell, err))
+				fmt.Fprintf(cfg.Log, "chaos-matrix: %-28s FAIL: %v\n", cell, err)
+				continue
+			}
+			if err := assertCell(res, want, fault); err != nil {
+				failures = append(failures, fmt.Sprintf("%s: %v", cell, err))
+				fmt.Fprintf(cfg.Log, "chaos-matrix: %-28s FAIL: %v\n", cell, err)
+				continue
+			}
+			fmt.Fprintf(cfg.Log, "chaos-matrix: %-28s ok (%d/%d ok, failovers %d, salvaged %d)\n",
+				cell, res.report.OK, res.report.Requests, res.gwFailovers, res.victimSalvaged)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("chaos-matrix: %d of %d cells failed:\n  %s",
+			len(failures), len(cfg.Faults)*len(cfg.Phases), strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// cellResult carries one cell's evidence: the load report plus the
+// fault-specific counters scraped before teardown.
+type cellResult struct {
+	report         *server.LoadReport
+	gwFailovers    int64
+	victimSalvaged int // victim journal salvaged_tail + quarantined
+	victimPutErrs  int64
+	tornApplied    bool
+	stopErr        error
+}
+
+// runMatrixCell starts a fleet (1 replica for the baseline, 2 for fault
+// cells), runs the load while the cell's disruption lands, scrapes the
+// evidence, and tears the fleet down.
+func runMatrixCell(ctx context.Context, cfg ChaosMatrixConfig, name, fault, phase string) (*cellResult, error) {
+	fc := FleetConfig{
+		Dir:        filepath.Join(cfg.Dir, name),
+		CratdBin:   cfg.CratdBin,
+		GatewayBin: cfg.GatewayBin,
+		Replicas:   2,
+	}
+	if fault == "" {
+		fc.Replicas = 1
+	}
+	// Fault arming. The disk-fault thresholds are tuned to the victim's
+	// startup footprint (manifest write = 1 write + 2 fsyncs) so the
+	// replica always boots and the fault lands on journal appends.
+	switch fault {
+	case "enospc":
+		fc.ReplicaFaults = []string{"enospc:after=2,count=2"}
+	case "fsync-fail":
+		fc.ReplicaFaults = []string{"fsync-fail:nth=5,count=2"}
+	case "conn-reset":
+		fc.GatewayFault = "conn-reset:every=9"
+	case "latency":
+		fc.GatewayFault = "latency:every=6,delay=150ms"
+	}
+
+	fleet, err := StartFleet(fc)
+	if err != nil {
+		return nil, fmt.Errorf("starting fleet: %w", err)
+	}
+	res := &cellResult{}
+	stopped := false
+	defer func() {
+		if !stopped {
+			fleet.Stop()
+		}
+	}()
+
+	type disruption struct {
+		torn bool
+		err  error
+	}
+	disrupted := make(chan disruption, 1)
+	if fault == "" {
+		disrupted <- disruption{}
+	} else {
+		go func() {
+			time.Sleep(400 * time.Millisecond) // let the load get underway
+			torn, derr := disrupt(fleet, fault, phase, cfg.Log)
+			disrupted <- disruption{torn: torn, err: derr}
+		}()
+	}
+
+	rep, err := server.RunLoad(ctx, fleet.GatewayURL(), server.LoadOptions{
+		Concurrency:      cfg.Concurrency,
+		Requests:         cfg.Requests,
+		Kernels:          cfg.Kernels,
+		Seed:             cfg.Seed,
+		CaptureDecisions: true,
+	})
+	d := <-disrupted
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("disruption: %w", d.err)
+	}
+	res.report = rep
+	res.tornApplied = d.torn
+
+	// Evidence scrape before teardown: the gateway's failover counters and
+	// the victim's own journal health.
+	if gw := scrapeJSON(fleet.GatewayURL()); gw != nil {
+		var snap GatewaySnapshot
+		if json.Unmarshal(gw, &snap) == nil {
+			res.gwFailovers = snap.Failovers
+		}
+	}
+	if raw := scrapeJSON(fleet.ReplicaURL(0)); raw != nil {
+		var snap server.StatsSnapshot
+		if json.Unmarshal(raw, &snap) == nil {
+			res.victimPutErrs = snap.CachePutErrors
+			if snap.Journal != nil {
+				res.victimSalvaged = snap.Journal.SalvagedTail + snap.Journal.Quarantined
+			}
+		}
+	}
+
+	stopped = true
+	res.stopErr = fleet.Stop()
+	return res, nil
+}
+
+// disrupt lands the cell's mid-load action on victim replica 0 and
+// reports whether a journal tear was actually applied.
+func disrupt(fleet *Fleet, fault, phase string, logw io.Writer) (bool, error) {
+	const victim = 0
+	tear := func() bool {
+		// Best-effort: the victim may not have journaled anything yet when
+		// the kill lands; an untearable journal just skips the hard assert.
+		if err := fleet.TruncateJournalTail(victim, 7); err != nil {
+			fmt.Fprintf(logw, "chaos-matrix: journal tear skipped: %v\n", err)
+			return false
+		}
+		return true
+	}
+	switch phase {
+	case "during-load":
+		// Injected faults fire in-band; only the process faults need an
+		// explicit crash to manifest at all.
+		if fault != "sigkill" && fault != "torn-journal" {
+			return false, nil
+		}
+		fallthrough
+	case "during-restart":
+		if err := fleet.KillReplica(victim); err != nil {
+			return false, fmt.Errorf("kill: %w", err)
+		}
+		torn := false
+		if fault == "torn-journal" {
+			torn = tear()
+		}
+		if err := fleet.RestartReplica(victim); err != nil {
+			return torn, fmt.Errorf("restart: %w", err)
+		}
+		return torn, nil
+	case "during-drain":
+		// A drain that exits nonzero under an injected fault is the server
+		// degrading as designed (the flush hit the fault); the contract
+		// under test is the client's, so log it and move on.
+		if err := fleet.TermReplica(victim); err != nil {
+			fmt.Fprintf(logw, "chaos-matrix: victim drain under fault: %v\n", err)
+		}
+		torn := false
+		if fault == "torn-journal" {
+			torn = tear()
+		}
+		if err := fleet.RestartReplica(victim); err != nil {
+			return torn, fmt.Errorf("restart after drain: %w", err)
+		}
+		return torn, nil
+	}
+	return false, fmt.Errorf("unknown phase %q", phase)
+}
+
+// assertCell enforces the matrix contract on one cell.
+func assertCell(res *cellResult, wantDecisions, fault string) error {
+	rep := res.report
+	// Hard, every cell: zero client-visible failures...
+	if rep.OK+rep.Canceled != rep.Requests {
+		return fmt.Errorf("%d of %d requests were client-visible failures (shed %d, timeout %d, failed %d)",
+			rep.Requests-rep.OK-rep.Canceled, rep.Requests, rep.Shed, rep.Timeouts, rep.Failed)
+	}
+	// ...zero inconsistent Decisions...
+	if rep.Inconsistent > 0 {
+		return fmt.Errorf("%d corpus entries returned inconsistent Decisions", rep.Inconsistent)
+	}
+	// ...byte-identical to the fault-free baseline.
+	if got := strings.Join(rep.Decisions, "\n"); got != wantDecisions {
+		return fmt.Errorf("decision digests diverged from the baseline")
+	}
+	// The fleet must still tear down cleanly.
+	if res.stopErr != nil {
+		return fmt.Errorf("fleet stop: %w", res.stopErr)
+	}
+	// Fault-specific evidence, hard only where the fault is deterministic
+	// from the cell's own actions.
+	switch fault {
+	case "conn-reset":
+		if res.gwFailovers < 1 {
+			return fmt.Errorf("no failovers despite injected connection resets")
+		}
+	case "torn-journal":
+		if res.tornApplied && res.victimSalvaged < 1 {
+			return fmt.Errorf("journal torn but the victim reports no salvage")
+		}
+	}
+	return nil
+}
+
+// scrapeJSON fetches base/statsz (nil on any failure).
+func scrapeJSON(base string) []byte {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(base + "/statsz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil
+	}
+	return data
+}

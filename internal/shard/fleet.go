@@ -30,6 +30,12 @@ type FleetConfig struct {
 	HedgeAfter time.Duration
 	// ExtraGatewayArgs append to the cratgw invocation.
 	ExtraGatewayArgs []string
+	// ReplicaFaults are per-replica -fault specs (index-matched; missing
+	// or empty entries leave that replica fault-free). A restarted replica
+	// re-arms its spec — the scenario's counters reset with the process.
+	ReplicaFaults []string
+	// GatewayFault is the cratgw -fault spec ("" = none).
+	GatewayFault string
 }
 
 type fleetProc struct {
@@ -66,6 +72,9 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 			"-drain-grace", "300ms",
 			fmt.Sprintf("-verify=%t", cfg.Verify),
 		}
+		if i < len(cfg.ReplicaFaults) && cfg.ReplicaFaults[i] != "" {
+			args = append(args, "-fault", cfg.ReplicaFaults[i])
+		}
 		p, err := f.spawn(cfg.CratdBin, args, filepath.Join(cfg.Dir, fmt.Sprintf("cratd-%d.log", i)),
 			filepath.Join(cfg.Dir, fmt.Sprintf("addr-%d", i)))
 		if err != nil {
@@ -85,6 +94,9 @@ func StartFleet(cfg FleetConfig) (*Fleet, error) {
 	}
 	if cfg.HedgeAfter > 0 {
 		gwArgs = append(gwArgs, "-hedge-after", cfg.HedgeAfter.String())
+	}
+	if cfg.GatewayFault != "" {
+		gwArgs = append(gwArgs, "-fault", cfg.GatewayFault)
 	}
 	gwArgs = append(gwArgs, cfg.ExtraGatewayArgs...)
 	p, err := f.spawn(cfg.GatewayBin, gwArgs, filepath.Join(cfg.Dir, "cratgw.log"),
@@ -152,6 +164,48 @@ func (f *Fleet) KillReplica(i int) error {
 	p.cmd.Wait()
 	p.exited = true
 	return nil
+}
+
+// TermReplica SIGTERMs replica i and waits for it to drain and exit —
+// the graceful shutdown path, under whatever load and faults are active.
+// The chaos matrix uses it to crash-test the drain-time journal flush.
+func (f *Fleet) TermReplica(i int) error {
+	p := f.replicas[i]
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		p.exited = true
+		return err // non-nil = the drain failed (exit 1); callers decide
+	case <-time.After(20 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+		p.exited = true
+		return fmt.Errorf("replica %d did not drain within 20s", i)
+	}
+}
+
+// JournalPath returns replica i's cache journal file.
+func (f *Fleet) JournalPath(i int) string {
+	return filepath.Join(f.cfg.Dir, fmt.Sprintf("cache-%d", i), "journal.log")
+}
+
+// TruncateJournalTail chops n bytes off replica i's journal — the torn
+// final record a power cut leaves. Only meaningful while the replica is
+// down (kill first, truncate, restart).
+func (f *Fleet) TruncateJournalTail(i int, n int64) error {
+	path := f.JournalPath(i)
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if st.Size() <= n {
+		return fmt.Errorf("journal %s has only %d bytes; cannot tear %d", path, st.Size(), n)
+	}
+	return os.Truncate(path, st.Size()-n)
 }
 
 // RestartReplica re-execs a killed replica on its ORIGINAL address (the

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"crat/internal/buildinfo"
+	"crat/internal/checkpoint"
 	"crat/internal/retry"
 	"crat/internal/server"
 )
@@ -51,6 +52,11 @@ type GatewayConfig struct {
 	MaxRetryAfterWait time.Duration
 	// Clock is injectable for tests (default system).
 	Clock retry.Clock
+	// Transport, when set, replaces the default HTTP transport for every
+	// replica-bound request (proxied compiles and health probes alike) —
+	// the fault-injection seam for connection resets and latency spikes
+	// (cratgw -fault). Nil = http.DefaultTransport.
+	Transport http.RoundTripper
 	// Log receives operational lines (nil = discard).
 	Log *log.Logger
 }
@@ -100,10 +106,17 @@ type replica struct {
 	healthy       atomic.Bool
 	consecFails   int // probe failures; prober goroutine only
 	consecOKs     int
+	probeCount    int // probes issued; prober goroutine only
 	ejections     atomic.Int64
 	probeFailures atomic.Int64
 	requests      atomic.Int64
 	failures      atomic.Int64
+
+	// journal is the replica's last-scraped durability report (nil until
+	// the prober's first /statsz scrape succeeds).
+	journalMu     sync.Mutex
+	journal       *checkpoint.Health
+	cacheDegraded string
 }
 
 // Gateway fronts N cratd replicas: consistent-hash routing on the
@@ -142,7 +155,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		ring:     NewRing(cfg.Vnodes),
 		full:     NewRing(cfg.Vnodes),
 		replicas: make(map[string]*replica, len(cfg.Replicas)),
-		client:   &http.Client{},
+		client:   &http.Client{Transport: cfg.Transport},
 		start:    time.Now(),
 	}
 	for _, url := range cfg.Replicas {
@@ -269,6 +282,11 @@ type ReplicaStatus struct {
 	ProbeFailures int64  `json:"probe_failures"`
 	Requests      int64  `json:"requests"`
 	Failures      int64  `json:"failures"`
+	// Journal is the replica's journal health as last scraped by the
+	// prober (nil until a scrape succeeds); CacheDegraded relays the
+	// replica's cold-cache reason.
+	Journal       *checkpoint.Health `json:"journal,omitempty"`
+	CacheDegraded string             `json:"cache_degraded,omitempty"`
 }
 
 // GatewaySnapshot is the JSON shape of the gateway's GET /statsz.
@@ -290,6 +308,15 @@ type GatewaySnapshot struct {
 	NoReplica       int64           `json:"no_replica"`
 	ClientCanceled  int64           `json:"client_canceled"`
 	Exhausted       int64           `json:"exhausted"`
+	// Fleet-wide journal aggregates, summed over the replicas whose
+	// /statsz the prober has scraped: one place to see whether any
+	// replica salvaged, quarantined, or compacted its journal.
+	JournalEntries     int `json:"journal_entries"`
+	JournalLoaded      int `json:"journal_loaded"`
+	JournalSalvaged    int `json:"journal_salvaged_tail"`
+	JournalQuarantined int `json:"journal_quarantined"`
+	JournalCompactions int `json:"journal_compactions"`
+	CacheDegradedCount int `json:"cache_degraded_count"`
 }
 
 // Snapshot assembles the /statsz document (also used by tests).
@@ -322,8 +349,25 @@ func (g *Gateway) Snapshot() GatewaySnapshot {
 			Requests:      rep.requests.Load(),
 			Failures:      rep.failures.Load(),
 		}
+		rep.journalMu.Lock()
+		if rep.journal != nil {
+			h := *rep.journal
+			rs.Journal = &h
+		}
+		rs.CacheDegraded = rep.cacheDegraded
+		rep.journalMu.Unlock()
 		snap.BreakerOpens += rs.BreakerOpens
 		snap.Ejections += rs.Ejections
+		if rs.Journal != nil {
+			snap.JournalEntries += rs.Journal.Entries
+			snap.JournalLoaded += rs.Journal.Loaded
+			snap.JournalSalvaged += rs.Journal.SalvagedTail
+			snap.JournalQuarantined += rs.Journal.Quarantined
+			snap.JournalCompactions += rs.Journal.Compactions
+		}
+		if rs.CacheDegraded != "" {
+			snap.CacheDegradedCount++
+		}
 		snap.Replicas = append(snap.Replicas, rs)
 	}
 	return snap
@@ -442,6 +486,14 @@ func (g *Gateway) route(ctx context.Context, key string, body []byte) attemptRes
 			return last
 		}
 		rep := g.nextAllowed(candidates, &ci)
+		if rep == nil && ci >= len(candidates) {
+			// The candidate list is spent but attempt budget remains: wrap
+			// back to the front of the ring. A transient failure on each of
+			// two replicas must not 502 a request the third attempt (with
+			// backoff) would have served.
+			ci = 0
+			rep = g.nextAllowed(candidates, &ci)
+		}
 		if rep == nil {
 			// Every candidate's breaker refuses: answer 503 now (status 0
 			// sentinel) rather than hammering known-bad replicas.

@@ -417,10 +417,11 @@ func TestGatewayShedRetrySameReplica(t *testing.T) {
 	}
 }
 
-// TestGatewayBreakerShortCircuits: with the lone replica dead, the first
-// requests fail through (502) and trip the breaker; once open, requests
-// are answered 503 + Retry-After immediately without touching the
-// replica.
+// TestGatewayBreakerShortCircuits: with the lone replica dead, the
+// first request burns its whole retry budget against it — the attempt
+// loop wraps the one-replica ring — failing through as 502 and tripping
+// the Failures=2 breaker in a single request; once open, requests are
+// answered 503 + Retry-After immediately without touching the replica.
 func TestGatewayBreakerShortCircuits(t *testing.T) {
 	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
 	deadURL := dead.URL
@@ -445,17 +446,17 @@ func TestGatewayBreakerShortCircuits(t *testing.T) {
 			t.Error("503 without Retry-After")
 		}
 	}
-	if statuses[0] != http.StatusBadGateway || statuses[1] != http.StatusBadGateway {
-		t.Errorf("pre-open statuses = %v, want [502 502 ...]", statuses)
+	if statuses[0] != http.StatusBadGateway {
+		t.Errorf("pre-open status = %v, want 502 (both attempts failed through)", statuses[0])
 	}
-	if statuses[2] != http.StatusServiceUnavailable {
-		t.Errorf("post-open status = %d, want 503 (breaker short-circuit)", statuses[2])
+	if statuses[1] != http.StatusServiceUnavailable || statuses[2] != http.StatusServiceUnavailable {
+		t.Errorf("post-open statuses = %v, want [_ 503 503] (breaker short-circuit)", statuses)
 	}
 	if got := g.Breaker(deadURL).State(); got != BreakerOpen {
 		t.Errorf("breaker state = %v, want open", got)
 	}
-	if got := g.Stats().NoReplica.Load(); got != 1 {
-		t.Errorf("no_replica = %d, want 1", got)
+	if got := g.Stats().NoReplica.Load(); got != 2 {
+		t.Errorf("no_replica = %d, want 2", got)
 	}
 }
 

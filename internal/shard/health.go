@@ -2,8 +2,12 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
 	"time"
+
+	"crat/internal/checkpoint"
 )
 
 // HealthConfig tunes the active prober. Each replica is probed on its
@@ -53,7 +57,14 @@ func (g *Gateway) probeLoop(ctx context.Context, rep *replica) {
 			return
 		case <-g.cfg.Clock.After(g.cfg.Health.Period):
 		}
+		rep.probeCount++
 		if g.probeOnce(ctx, rep) {
+			// Every few probes, piggyback a /statsz scrape so the gateway's
+			// own /statsz can aggregate fleet journal health (salvaged tails,
+			// quarantined corruption) without a second prober.
+			if rep.probeCount%journalScrapeEvery == 1 {
+				g.scrapeJournal(ctx, rep)
+			}
 			rep.consecFails = 0
 			rep.consecOKs++
 			if !rep.healthy.Load() && rep.consecOKs >= g.cfg.Health.HealthyAfter {
@@ -73,6 +84,41 @@ func (g *Gateway) probeLoop(ctx context.Context, rep *replica) {
 			}
 		}
 	}
+}
+
+// journalScrapeEvery spaces the prober's /statsz scrapes: one journal
+// health refresh per this many /readyz probes (the first probe scrapes
+// immediately so a fresh gateway has fleet health within one period).
+const journalScrapeEvery = 4
+
+// scrapeJournal refreshes rep's cached journal health from its /statsz.
+// Best-effort: a failed scrape keeps the previous report.
+func (g *Gateway) scrapeJournal(ctx context.Context, rep *replica) {
+	pctx, cancel := context.WithTimeout(ctx, g.cfg.Health.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.url+"/statsz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var snap struct {
+		CacheDegraded string             `json:"cache_degraded"`
+		Journal       *checkpoint.Health `json:"journal"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&snap); err != nil {
+		return
+	}
+	rep.journalMu.Lock()
+	rep.journal = snap.Journal
+	rep.cacheDegraded = snap.CacheDegraded
+	rep.journalMu.Unlock()
 }
 
 // probeOnce reports whether one /readyz probe succeeded.
