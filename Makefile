@@ -10,6 +10,7 @@ SMOKEDIR := /tmp/crat-checkpoint-smoke
 ORACLEDIR := /tmp/crat-oracle-smoke
 GOLDENDIR := /tmp/crat-golden-diff
 SVCDIR := /tmp/crat-service-smoke
+BACKENDDIR := /tmp/crat-backend-smoke
 SHARDDIR := /tmp/crat-shard-smoke
 CHAOSDIR := /tmp/crat-chaos-smoke
 
@@ -20,7 +21,7 @@ CHAOSDIR := /tmp/crat-chaos-smoke
 # tracks the width of the masked durations).
 NORM = sed -E -e '/^done in /d' -e 's/[0-9]+(\.[0-9]+)?(µs|ms|m?s)\b/DUR/g' -e 's/ +/ /g' -e 's/ +$$//'
 
-.PHONY: all build vet test race race-harness bench-smoke perf-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke shard-smoke chaos-smoke golden-diff golden-regen ci
+.PHONY: all build vet test race race-harness bench-smoke perf-smoke bench-json checkpoint-smoke fuzz-smoke oracle-smoke pass-smoke backend-smoke service-smoke shard-smoke chaos-smoke golden-diff golden-regen ci
 
 all: build
 
@@ -112,6 +113,21 @@ oracle-smoke:
 # emits malformed IR fails with the offending pass named.
 pass-smoke:
 	$(GO) test -count=1 -run TestPassSmoke .
+
+# Backend smoke: every registered optimization backend (and the full
+# union) over every seed workload with verify-after-every-pass and zero
+# oracle divergence required; the metamorphic sweep that pushes each
+# backend through forced tight budgets on the ptxgen corpus; and a golden
+# diff of the head-to-head figure against experiments_output.txt.
+backend-smoke:
+	$(GO) test -count=1 -run TestBackendSmoke .
+	$(GO) test ./internal/oracle/ -count=1 -run TestMetamorphicBackends
+	rm -rf $(BACKENDDIR) && mkdir -p $(BACKENDDIR)
+	$(GO) run ./cmd/experiments -run backends > $(BACKENDDIR)/fresh.txt
+	awk '/^== backends:/,/^$$/' experiments_output.txt | $(NORM) > $(BACKENDDIR)/golden.norm
+	awk '/^== backends:/,/^$$/' $(BACKENDDIR)/fresh.txt | $(NORM) > $(BACKENDDIR)/fresh.norm
+	diff $(BACKENDDIR)/golden.norm $(BACKENDDIR)/fresh.norm
+	@echo "backend-smoke: all backends oracle-clean; head-to-head figure matches the golden"
 
 # Service smoke: the cratd daemon's full robustness loop end to end.
 # Start cratd on an ephemeral port with a persistent cache, warm it with a
@@ -216,4 +232,4 @@ golden-diff:
 golden-regen:
 	$(GO) run ./cmd/experiments -run all > experiments_output.txt
 
-ci: vet build race race-harness checkpoint-smoke bench-smoke perf-smoke fuzz-smoke oracle-smoke pass-smoke service-smoke shard-smoke chaos-smoke golden-diff
+ci: vet build race race-harness checkpoint-smoke bench-smoke perf-smoke fuzz-smoke oracle-smoke pass-smoke backend-smoke service-smoke shard-smoke chaos-smoke golden-diff

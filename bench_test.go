@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"crat/internal/backend"
 	"crat/internal/buildinfo"
 	"crat/internal/checkpoint"
 	"crat/internal/core"
@@ -319,6 +320,55 @@ func BenchmarkAblationBypass(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := s.AblationBypass(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackendHeadToHead regenerates the optimization-backend
+// head-to-head figure and reports, per registered backend, its
+// union-selection wins and its cycle geomean normalized to crat. The
+// backend-* metrics land in BENCH_<date>.json's "backends" section via
+// cmd/benchjson, tracking how the competing candidate generators trade
+// off across PRs.
+func BenchmarkBackendHeadToHead(b *testing.B) {
+	s := sessionFor(b, gpusim.FermiConfig())
+	names := backend.Names()
+	for i := 0; i < b.N; i++ {
+		t, err := s.BackendHeadToHead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		col := func(name string) int {
+			for j, c := range t.Columns {
+				if c == name {
+					return j
+				}
+			}
+			b.Fatalf("column %q not found in %s", name, t.ID)
+			return -1
+		}
+		winCol, cratCol := col("winner"), col("crat cycles")
+		wins := make(map[string]int)
+		ratios := make(map[string][]float64)
+		for _, row := range t.Rows {
+			wins[row[winCol]]++
+			cratCycles, err := strconv.ParseFloat(row[cratCol], 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, name := range names {
+				cycles, err := strconv.ParseFloat(row[col(name+" cycles")], 64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if cratCycles > 0 && cycles > 0 {
+					ratios[name] = append(ratios[name], cratCycles/cycles)
+				}
+			}
+		}
+		for _, name := range names {
+			b.ReportMetric(float64(wins[name]), "backend-"+name+"-wins")
+			b.ReportMetric(harness.Geomean(ratios[name]), "backend-"+name+"-geomean-vs-crat")
 		}
 	}
 }

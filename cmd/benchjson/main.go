@@ -83,6 +83,12 @@ type Report struct {
 	// load ran against a cratgw fleet — the gateway's svc-hedges and
 	// svc-failovers counters scraped from its /statsz.
 	Service map[string]float64 `json:"service,omitempty"`
+	// Backends collects the optimization-backend head-to-head metrics
+	// ("backend-*" units from BenchmarkBackendHeadToHead): per-backend
+	// union-selection wins and cycle geomeans vs crat. They compare
+	// candidate-generation strategies, not the paper's headline results,
+	// so they get their own section.
+	Backends map[string]float64 `json:"backends,omitempty"`
 }
 
 // parseLine parses a `go test -bench` result line, e.g.
@@ -206,6 +212,13 @@ func run(out string, allowRace bool) error {
 					rep.Service = map[string]float64{}
 				}
 				rep.Service[unit] = v
+				continue
+			}
+			if strings.HasPrefix(unit, "backend-") {
+				if rep.Backends == nil {
+					rep.Backends = map[string]float64{}
+				}
+				rep.Backends[unit] = v
 				continue
 			}
 			if headlineUnit(unit) {

@@ -7,14 +7,16 @@
 // Usage:
 //
 //	cratc -in kernel.ptx -block 128 [-grid 12] [-arch fermi|kepler]
-//	      [-reg N] [-tlp N] [-no-shared-spill] [-out out.ptx]
+//	      [-reg N] [-tlp N] [-no-shared-spill] [-backend a,b] [-out out.ptx]
 //
 // With -reg (and optionally -tlp) the design-space search is skipped and
 // the kernel is allocated at exactly that budget — the "max regcount"
 // workflow. Without them, cratc explores the pruned design space and picks
 // the TPSC winner; because OptTLP profiling needs input data the tool does
 // not have, OptTLP defaults to the static occupancy bound unless -opttlp
-// is supplied.
+// is supplied. -backend selects which optimization backends generate
+// candidates for that search (internal/backend; every registered backend
+// competes under one TPSC selection when several are listed).
 //
 // With -verify the transformed kernel is differentially validated against
 // the input kernel on generated inputs (internal/oracle): PASS or
@@ -26,7 +28,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"crat/internal/backend"
 	"crat/internal/buildinfo"
 	"crat/internal/core"
 	"crat/internal/gpusim"
@@ -48,6 +52,7 @@ func main() {
 	tlpFlag := flag.Int("tlp", 0, "thread-block TLP limit for spill planning")
 	optTLP := flag.Int("opttlp", 0, "optimal TLP (default: occupancy at the default registers)")
 	noShared := flag.Bool("no-shared-spill", false, "disable the shared-memory spilling optimization")
+	backendsFlag := flag.String("backend", "", "comma-separated optimization backends for the design-space search (default: the CRAT strategy; see -passes); registered: "+strings.Join(backend.Names(), ","))
 	coalesceFlag := flag.Bool("coalesce", false, "run conservative copy coalescing before coloring (useful on SSA-style nvcc PTX)")
 	verify := flag.Bool("verify", false, "differentially validate the transformed kernel against the input on generated inputs; exit non-zero on divergence")
 	verifyRuns := flag.Int("verify-runs", 0, "input sets for -verify (0 = oracle default)")
@@ -63,8 +68,15 @@ func main() {
 		return
 	}
 
+	backends := splitBackends(*backendsFlag)
+	if _, err := backend.Resolve(backends); err != nil {
+		check(err)
+	}
+
 	if *listPasses {
-		for _, p := range core.PipelinePasses() {
+		// Include every backend-registered pass: nil lists the full
+		// registry, an explicit -backend narrows to that pipeline.
+		for _, p := range core.PipelinePassesFor(backends) {
 			fmt.Printf("%-13s %s\n", p.Name, p.Desc)
 		}
 		return
@@ -118,6 +130,9 @@ func main() {
 	var chosenReg, chosenTLP int
 
 	if *regCap > 0 {
+		if len(backends) > 0 {
+			check(fmt.Errorf("-backend selects candidate generators for the design-space search; it cannot be combined with the fixed-budget -reg mode"))
+		}
 		// Fixed-budget mode: the allocation and spilling stages still run as
 		// passes, under a locally-built manager.
 		pm := &passes.Manager{VerifyEach: *verifyPasses, DumpAfter: dump}
@@ -148,6 +163,7 @@ func main() {
 		}
 		d, err := core.Optimize(app, core.Options{
 			Arch: arch, OptTLP: opt, SpillShared: !*noShared, Coalesce: *coalesceFlag,
+			Backends:       backends,
 			VerifyEachPass: *verifyPasses, DumpAfter: dump,
 		})
 		check(err)
@@ -155,9 +171,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "analysis: MaxReg=%d MinReg=%d MaxTLP=%d OptTLP=%d ShmSize=%d\n",
 				a.MaxReg, a.MinReg, a.MaxTLP, opt, a.ShmSize)
 			for _, c := range d.Candidates {
-				fmt.Fprintf(os.Stderr, "candidate reg=%-3d tlp=%d spills(local=%d shm=%d others=%d) tpsc=%.2f\n",
-					c.Reg, c.TLP, c.Overhead.Locals(), c.Overhead.Shareds(), c.Overhead.AddrInsts, c.TPSC)
+				fmt.Fprintf(os.Stderr, "candidate backend=%-10s reg=%-3d tlp=%d spills(local=%d shm=%d others=%d) tpsc=%.2f\n",
+					c.Backend, c.Reg, c.TLP, c.Overhead.Locals(), c.Overhead.Shareds(), c.Overhead.AddrInsts, c.TPSC)
 			}
+			fmt.Fprintf(os.Stderr, "winner: backend=%s\n", d.Backend)
 		}
 		result = d.Chosen.Kernel()
 		chosenReg, chosenTLP = d.Chosen.UsedRegs(), d.Chosen.TLP
@@ -197,4 +214,16 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "cratc:", err)
 		os.Exit(1)
 	}
+}
+
+// splitBackends parses a comma-separated -backend/-backends value,
+// dropping empty elements so "a,,b" and trailing commas are forgiven.
+func splitBackends(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }

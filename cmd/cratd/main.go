@@ -7,7 +7,7 @@
 //
 //	cratd [-addr 127.0.0.1:8177] [-cache DIR] [-queue N] [-workers N]
 //	      [-deadline 30s] [-max-deadline 2m] [-drain 15s] [-drain-grace 0]
-//	      [-verify] [-fault SPEC] [-addr-file PATH] [-version]
+//	      [-verify] [-backends a,b] [-fault SPEC] [-addr-file PATH] [-version]
 //
 // Endpoints:
 //
@@ -30,9 +30,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"crat/internal/backend"
 	"crat/internal/buildinfo"
 	"crat/internal/faultinject"
 	"crat/internal/pool"
@@ -50,6 +52,7 @@ func main() {
 	drain := flag.Duration("drain", 15*time.Second, "graceful-drain budget on SIGTERM before giving up on in-flight requests")
 	drainGrace := flag.Duration("drain-grace", 0, "hold the listener open (readyz already 503) for this long at drain start, so a gateway health check observes not-ready before connections are refused")
 	verify := flag.Bool("verify", true, "run the differential oracle on every compile by default (requests may override)")
+	backends := flag.String("backends", "", "comma-separated default optimization backends for requests that name none (registered: "+strings.Join(backend.Names(), ",")+"); empty = CRAT")
 	fault := flag.String("fault", "", "deterministic fault-injection spec for the cache filesystem, e.g. 'fsync-fail:nth=5;enospc:after=6,count=3' (chaos testing; see internal/faultinject)")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
@@ -76,6 +79,7 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		CacheDir:        *cacheDir,
 		VerifyDefault:   *verify,
+		DefaultBackends: splitBackends(*backends),
 		DrainGrace:      *drainGrace,
 		FS:              faultFS,
 		Log:             logger,
@@ -120,4 +124,16 @@ func main() {
 			logger.Fatalf("serve: %v", err)
 		}
 	}
+}
+
+// splitBackends parses the comma-separated -backends value, dropping
+// empty elements so "a,,b" and trailing commas are forgiven.
+func splitBackends(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }

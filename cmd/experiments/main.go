@@ -47,6 +47,8 @@ func main() {
 		"load results already persisted in -checkpoint instead of starting fresh")
 	strict := flag.Bool("strict", false,
 		"exit 1 if any fault was captured (default: degrade to ERROR rows and exit 0)")
+	backends := flag.String("backends", "",
+		"comma-separated optimization backends for the head-to-head experiment (empty = every registered backend)")
 	passTimes := flag.Bool("pass-times", false,
 		"after the run, print the per-pass wall-time and IR-delta table (opt-in: kept out of the golden output)")
 	version := flag.Bool("version", false, "print build information and exit")
@@ -95,6 +97,11 @@ func main() {
 		Strict:        *strict,
 		CheckpointDir: *ckptDir,
 		Resume:        *resume,
+	}
+	for _, name := range strings.Split(*backends, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			opts.Backends = append(opts.Backends, name)
+		}
 	}
 	rep, err := harness.RunExperimentsCtx(ctx, ids, opts, os.Stdout)
 	if *passTimes {

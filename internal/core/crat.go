@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"crat/internal/backend"
 	"crat/internal/gpusim"
 	"crat/internal/oracle"
 	"crat/internal/passes"
@@ -52,8 +53,15 @@ type Options struct {
 	// profiling (CRAT-static, paper §7.6).
 	StaticOptTLP bool
 	// SpillShared disables (false) or enables (true) the shared-memory
-	// spilling optimization; ModeCRATLocal corresponds to false.
+	// spilling optimization; ModeCRATLocal corresponds to false. It only
+	// selects the implied backend when Backends is empty.
 	SpillShared bool
+	// Backends names the candidate-generation backends whose candidates
+	// compete under TPSC/oracle selection (internal/backend registry).
+	// Order matters: full TPSC ties break toward the earlier backend.
+	// Empty means the mode-implied default: "crat" when SpillShared,
+	// "crat-local" otherwise.
+	Backends []string
 	// Split selects the sub-stack splitting strategy for Algorithm 1.
 	Split spillopt.Split
 	// Coalesce enables the allocator's conservative copy-coalescing
@@ -111,12 +119,19 @@ func (o Options) profileWorkers() int {
 
 // Candidate is one surviving design point with its compiled kernel.
 type Candidate struct {
+	// Backend names the strategy that produced the candidate ("crat",
+	// "crat-local", "regdem", ...; "baseline" for the degraded-mode
+	// fallback, "" for the untouched baseline modes).
+	Backend  string
 	Reg      int // register per-thread budget (rightmost point of the stair)
 	TLP      int
 	Alloc    *regalloc.Result
 	Spill    *spillopt.Result // nil when spilling optimization disabled
 	Overhead ptx.SpillOverhead
 	TPSC     float64
+	// Demoted counts registers the regdem backend rewrote to shared
+	// memory before allocation (0 for other backends).
+	Demoted int
 	// Cycles is filled only under Options.Oracle.
 	Cycles int64
 }
@@ -145,6 +160,9 @@ type Decision struct {
 	Costs      gpusim.Costs
 	Candidates []Candidate
 	Chosen     Candidate
+	// Backend names the strategy whose candidate won the selection
+	// (Chosen.Backend; "baseline" when the decision degraded).
+	Backend string
 	// ProfileRuns counts simulations spent determining OptTLP (the
 	// profiling overhead of paper §7.7); static estimation uses 1.
 	ProfileRuns int
@@ -171,6 +189,12 @@ func Optimize(app App, opts Options) (*Decision, error) {
 // deterministically from persisted stats.
 func OptimizeCtx(ctx context.Context, app App, opts Options) (*Decision, error) {
 	if err := ptx.Verify(app.Kernel, "input"); err != nil {
+		return nil, err
+	}
+	// Resolve the backend set up front so a bad -backend flag fails before
+	// any profiling simulations run.
+	backends, err := backend.Resolve(opts.backendNames())
+	if err != nil {
 		return nil, err
 	}
 	arch := opts.Arch
@@ -214,8 +238,8 @@ func OptimizeCtx(ctx context.Context, app App, opts Options) (*Decision, error) 
 	}
 
 	// The remaining stages run as an instrumented pass pipeline over one
-	// manager: prune, then per-candidate allocation and spilling (via
-	// AllocateWith/OptimizeWith inside buildCandidate), then selection.
+	// manager: prune, then every enabled backend's candidate pipeline over
+	// the shared design points, then selection across the union.
 	pm := opts.passManager(app)
 	am := passes.NewAnalysisManager(app.Kernel)
 
@@ -223,19 +247,43 @@ func OptimizeCtx(ctx context.Context, app App, opts Options) (*Decision, error) 
 	if err := pm.Run(am, pr); err != nil {
 		return nil, err
 	}
-	for _, pt := range pr.points {
-		cand, err := buildCandidate(pm, app, arch, a, pt.Reg, pt.TLP, opts)
+	req := backend.Request{
+		AppName:             app.Name,
+		Kernel:              app.Kernel,
+		Arch:                arch,
+		BlockSize:           a.BlockSize,
+		ShmSize:             a.ShmSize,
+		OptTLP:              a.OptTLP,
+		Points:              make([]backend.Point, len(pr.points)),
+		Coalesce:            opts.Coalesce,
+		Split:               opts.Split,
+		UnweightedGain:      opts.UnweightedGain,
+		UnweightedSpillCost: opts.UnweightedSpillCost,
+	}
+	for i, pt := range pr.points {
+		req.Points[i] = backend.Point{Reg: pt.Reg, TLP: pt.TLP}
+	}
+	for _, bk := range backends {
+		cands, err := bk.Candidates(pm, req)
 		if err != nil {
-			if isPipelineFault(err) {
-				// A pass emitted unverifiable IR or diverged from the
-				// oracle: a compiler bug, not an infeasible budget.
-				return nil, err
-			}
-			// Infeasible register budgets are simply not candidates.
-			continue
+			// A pass emitted unverifiable IR or diverged from the oracle:
+			// a compiler bug, not an infeasible budget (backends absorb
+			// those by dropping the point).
+			return nil, err
 		}
-		cand.TPSC = TPSC(pt.TLP, a.BlockSize, arch.MaxThreadsPerSM, cand.Overhead, d.Costs)
-		d.Candidates = append(d.Candidates, *cand)
+		for _, bc := range cands {
+			cand := Candidate{
+				Backend:  bc.Backend,
+				Reg:      bc.Reg,
+				TLP:      bc.TLP,
+				Alloc:    bc.Alloc,
+				Spill:    bc.Spill,
+				Overhead: bc.Overhead,
+				Demoted:  bc.Demoted,
+			}
+			cand.TPSC = TPSC(cand.TLP, a.BlockSize, arch.MaxThreadsPerSM, cand.Overhead, d.Costs)
+			d.Candidates = append(d.Candidates, cand)
+		}
 	}
 	if len(d.Candidates) == 0 {
 		return nil, fmt.Errorf("core: %s: no feasible design points", app.Name)
@@ -250,63 +298,34 @@ func OptimizeCtx(ctx context.Context, app App, opts Options) (*Decision, error) 
 	if err := pm.Run(am, sel); err != nil {
 		return nil, err
 	}
+	d.Backend = d.Chosen.Backend
 	if opts.VerifyEquivalence {
 		if err := verifyDecision(app, arch, a, d, opts); err != nil {
 			return nil, err
 		}
+		d.Backend = d.Chosen.Backend
 	}
 	return d, nil
 }
 
-// buildCandidate allocates registers for one design point and applies the
-// spilling optimization when enabled. Both stages run under pm, so their
-// passes share the Optimize-level instrumentation (verify-after-every-pass,
-// dumps, oracle spot-checks, timing).
-func buildCandidate(pm *passes.Manager, app App, arch gpusim.Config, a *Analysis, reg, tlp int, opts Options) (*Candidate, error) {
-	allocOpts := regalloc.Options{
-		Regs:                reg,
-		Coalesce:            opts.Coalesce,
-		UnweightedSpillCost: opts.UnweightedSpillCost,
+// backendNames resolves the enabled backend set: an explicit Backends
+// list wins; otherwise the mode-implied default preserves the historical
+// single-strategy pipeline.
+func (o Options) backendNames() []string {
+	if len(o.Backends) > 0 {
+		return o.Backends
 	}
-	alloc, err := regalloc.AllocateWith(pm, app.Kernel, allocOpts)
-	if err != nil {
-		return nil, err
+	if o.SpillShared {
+		return []string{"crat"}
 	}
-	c := &Candidate{Reg: reg, TLP: tlp, Alloc: alloc, Overhead: alloc.Kernel.SpillOverhead()}
-	if !opts.SpillShared {
-		return c, nil
-	}
-	spare := SpareShm(arch, a.ShmSize, tlp)
-	res, err := spillopt.OptimizeWith(pm, alloc, allocOpts, spillopt.Options{
-		SpareShmBytes:  spare,
-		BlockSize:      a.BlockSize,
-		Split:          opts.Split,
-		UnweightedGain: opts.UnweightedGain,
-	})
-	if err != nil {
-		return nil, err
-	}
-	c.Spill = res
-	c.Overhead = res.Overhead
-	return c, nil
+	return []string{"crat-local"}
 }
 
 // SpareShm computes the spare shared memory per block at a given TLP: the
 // slack the spilling optimization may consume without changing the TLP
 // (paper §5.3: "only utilizes the spare shared memory for spilling").
 func SpareShm(arch gpusim.Config, shmUsed int64, tlp int) int64 {
-	if tlp <= 0 {
-		return 0
-	}
-	perBlock := int64(arch.SharedMemBytes) / int64(tlp)
-	if perBlock > int64(arch.MaxSharedPerBlock) {
-		perBlock = int64(arch.MaxSharedPerBlock)
-	}
-	spare := perBlock - shmUsed
-	if spare < 0 {
-		return 0
-	}
-	return spare
+	return backend.SpareShm(arch, shmUsed, tlp)
 }
 
 // modePlan is the compile-only product of planModeCtx: the decision plus

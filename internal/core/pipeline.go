@@ -2,9 +2,9 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
+	"crat/internal/backend"
 	"crat/internal/gpusim"
 	"crat/internal/oracle"
 	"crat/internal/passes"
@@ -18,19 +18,43 @@ type PassInfo struct {
 	Desc string
 }
 
-// PipelinePasses lists the CRAT pipeline's passes in execution order. The
-// allocation passes (coalesce through phys-rewrite) run once per candidate
-// design point; shm-knapsack re-enters them after the shared-memory rewrite.
+// PipelinePasses lists the pipeline's passes in execution order for the
+// default backend set: pruning, then each registered backend's candidate
+// pipeline (deduplicated — the allocation passes are shared), then
+// selection. It is equivalent to PipelinePassesFor(nil).
 func PipelinePasses() []PassInfo {
-	return []PassInfo{
-		{"prune", "design-space pruning: rightmost point per occupancy stair, TLP capped at OptTLP (paper §4.2)"},
-		{"coalesce", "conservative copy coalescing before the first coloring (Options.Coalesce; per candidate)"},
-		{"color", "Chaitin-Briggs coloring (or linear scan) over the cached CFG and liveness (per candidate)"},
-		{"spill-insert", "rewrites uncolorable registers onto the local-memory SpillStack (per candidate)"},
-		{"phys-rewrite", "virtual-to-physical register rewrite; verifies and emits the allocated kernel (per candidate)"},
-		{"shm-knapsack", "spill-stack knapsack placement into spare shared memory (paper Algorithm 1; per candidate)"},
-		{"tpsc-select", "TPSC-model selection across surviving candidates (oracle-select under Options.Oracle)"},
+	return PipelinePassesFor(nil)
+}
+
+// PipelinePassesFor lists the passes the pipeline runs for the named
+// backends (nil or empty = every registered backend), in execution order:
+// the shared prune pass, each backend's registered pipeline (passes
+// already listed by an earlier backend appear once), and the selection
+// pass. Unknown names are skipped — callers validate via
+// backend.Resolve before compiling.
+func PipelinePassesFor(names []string) []PassInfo {
+	if len(names) == 0 {
+		names = backend.Names()
 	}
+	out := []PassInfo{
+		{"prune", "design-space pruning: rightmost point per occupancy stair, TLP capped at OptTLP (paper §4.2)"},
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		bk, ok := backend.Lookup(name)
+		if !ok {
+			continue
+		}
+		for _, p := range bk.Passes() {
+			if seen[p.Name] {
+				continue
+			}
+			seen[p.Name] = true
+			out = append(out, PassInfo{Name: p.Name, Desc: p.Desc})
+		}
+	}
+	out = append(out, PassInfo{"tpsc-select", "TPSC-model selection across surviving candidates of every enabled backend (oracle-select under Options.Oracle)"})
+	return out
 }
 
 // PassCheckError reports a per-pass oracle spot-check failure: either the
@@ -52,6 +76,11 @@ func (e *PassCheckError) Error() string {
 
 func (e *PassCheckError) Unwrap() error { return e.Err }
 
+// PipelineFault marks the error as a hard pipeline failure for
+// backend.IsPipelineFault, so backends fail fast instead of treating a
+// diverging pass as an infeasible design point.
+func (e *PassCheckError) PipelineFault() {}
+
 // passManager builds the instrumented pass manager one Optimize (or
 // planModeCtx) invocation threads through every pipeline stage. The zero
 // configuration is free: hooks stay nil and the manager only records
@@ -72,16 +101,6 @@ func (o Options) passManager(app App) *passes.Manager {
 		}
 	}
 	return pm
-}
-
-// isPipelineFault separates hard pipeline failures (a pass produced
-// unverifiable IR, or a spot-check diverged) from ordinary per-candidate
-// infeasibility (regalloc.ErrInfeasible and friends), which the pruning
-// loop absorbs by dropping the design point.
-func isPipelineFault(err error) bool {
-	var verr *ptx.VerifyError
-	var cerr *PassCheckError
-	return errors.As(err, &verr) || errors.As(err, &cerr)
 }
 
 // designPoint is one surviving (register budget, TLP) pair from pruning.

@@ -34,7 +34,7 @@ func baselineCandidate(app App, arch gpusim.Config, a *Analysis) (*Candidate, er
 	if tlp < 1 {
 		tlp = 1
 	}
-	return &Candidate{Reg: a.MaxReg, TLP: tlp, Alloc: alloc, Overhead: alloc.Kernel.SpillOverhead()}, nil
+	return &Candidate{Backend: "baseline", Reg: a.MaxReg, TLP: tlp, Alloc: alloc, Overhead: alloc.Kernel.SpillOverhead()}, nil
 }
 
 // verifyDecision runs the differential oracle over the chosen candidate's

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"crat/internal/backend"
+	"crat/internal/gpusim"
+)
+
+// renderHeadToHead builds the backend head-to-head table over the small
+// synthetic apps on a fresh session with the given worker count and
+// returns its rendered bytes.
+func renderHeadToHead(t *testing.T, workers int) []byte {
+	t.Helper()
+	s, err := NewSession(gpusim.FermiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(workers)
+	tab, err := s.backendHeadToHead(concApps())
+	if err != nil {
+		t.Fatalf("backendHeadToHead(workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	return buf.Bytes()
+}
+
+// TestBackendHeadToHeadDeterministic requires the head-to-head sweep to
+// render byte-identically when run twice and across worker counts (-j 1
+// vs -j 8): backend evaluation, union selection, and note aggregation
+// must all be order-independent.
+func TestBackendHeadToHeadDeterministic(t *testing.T) {
+	serial := renderHeadToHead(t, 1)
+	if again := renderHeadToHead(t, 1); !bytes.Equal(serial, again) {
+		t.Fatalf("serial head-to-head not reproducible:\n--- first\n%s--- second\n%s", serial, again)
+	}
+	parallel := renderHeadToHead(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("head-to-head differs between -j 1 and -j 8:\n--- serial\n%s--- parallel\n%s", serial, parallel)
+	}
+	if again := renderHeadToHead(t, 8); !bytes.Equal(parallel, again) {
+		t.Fatalf("parallel head-to-head not reproducible")
+	}
+}
+
+// TestBackendDelegatesToModes requires the crat and crat-local backends
+// to share the comparison modes' caches (one simulation, two names) and
+// every backend evaluation to attribute its decision to the right
+// backend.
+func TestBackendDelegatesToModes(t *testing.T) {
+	s, err := NewSession(gpusim.FermiConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWorkers(1)
+	p := concApps()[0]
+	for _, name := range backend.Names() {
+		_, d, err := s.Backend(p, name)
+		if err != nil {
+			t.Fatalf("Backend(%s): %v", name, err)
+		}
+		if d.Backend != name {
+			t.Fatalf("Backend(%s): decision attributed to %q", name, d.Backend)
+		}
+	}
+	counts := s.computeCounts()
+	if counts["mode/"+p.Abbr+"/CRAT"] != 1 || counts["mode/"+p.Abbr+"/CRAT-local"] != 1 {
+		t.Fatalf("crat/crat-local did not delegate to the mode caches: %v", counts)
+	}
+	if counts["backend/"+p.Abbr+"/regdem"] != 1 {
+		t.Fatalf("regdem not computed exactly once: %v", counts)
+	}
+	if counts["backend/"+p.Abbr+"/crat"] != 0 {
+		t.Fatalf("crat unexpectedly computed under a backend key: %v", counts)
+	}
+}

@@ -105,6 +105,12 @@ type Session struct {
 	analyses map[string]*call[analysisResult]
 	modeRes  map[string]*call[modeResult]
 	speedups map[string]*call[float64]
+	// backendRes caches per-(app, backend) evaluations; unionWin the
+	// compile-only union-selection winner per app. backendNames is the
+	// enabled backend set (empty = all registered).
+	backendRes   map[string]*call[modeResult]
+	unionWin     map[string]*call[string]
+	backendNames []string
 	// computes counts cache-miss computations by key; the concurrency tests
 	// assert every key was simulated exactly once, and the chaos tests that
 	// checkpointed keys are never simulated at all.
@@ -217,14 +223,16 @@ func NewSession(arch gpusim.Config) (*Session, error) {
 		return nil, err
 	}
 	return &Session{
-		Arch:     arch,
-		Costs:    costs,
-		apps:     make(map[string]*call[core.App]),
-		analyses: make(map[string]*call[analysisResult]),
-		modeRes:  make(map[string]*call[modeResult]),
-		speedups: make(map[string]*call[float64]),
-		computes: make(map[string]int),
-		ckptHits: make(map[string]int),
+		Arch:       arch,
+		Costs:      costs,
+		apps:       make(map[string]*call[core.App]),
+		analyses:   make(map[string]*call[analysisResult]),
+		modeRes:    make(map[string]*call[modeResult]),
+		speedups:   make(map[string]*call[float64]),
+		backendRes: make(map[string]*call[modeResult]),
+		unionWin:   make(map[string]*call[string]),
+		computes:   make(map[string]int),
+		ckptHits:   make(map[string]int),
 	}, nil
 }
 

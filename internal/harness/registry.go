@@ -61,6 +61,7 @@ func Experiments() []Experiment {
 		{ID: "abl-pruning", Desc: "ablation: design-space pruning", Run: one((*Session).AblationPruning)},
 		{ID: "abl-tpsc", Desc: "ablation: TPSC vs oracle", Run: one((*Session).AblationTPSC)},
 		{ID: "abl-bypass", Desc: "ablation: CRAT with L1 bypassing", Run: one((*Session).AblationBypass)},
+		{ID: "backends", Desc: "optimization-backend head-to-head", Run: one((*Session).BackendHeadToHead)},
 	}
 }
 
@@ -82,6 +83,9 @@ type RunOptions struct {
 	// starting fresh; a checkpoint written under a different configuration
 	// is rejected (checkpoint.ErrStale).
 	Resume bool
+	// Backends restricts the optimization backends the head-to-head
+	// experiment sweeps (empty = every registered backend).
+	Backends []string
 }
 
 // RunReport summarizes a RunExperimentsCtx invocation for callers that
@@ -136,6 +140,7 @@ func RunExperimentsCtx(ctx context.Context, ids []string, opts RunOptions, w io.
 		}
 		s.SetWorkers(opts.Workers)
 		s.SetContext(ctx)
+		s.SetBackends(opts.Backends)
 		if opts.CheckpointDir != "" {
 			dir := filepath.Join(opts.CheckpointDir, arch)
 			st, err := checkpoint.Open(dir, s.ConfigHash(), arch, opts.Resume)

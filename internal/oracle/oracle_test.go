@@ -1,13 +1,16 @@
 package oracle_test
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
+	"crat/internal/backend"
 	"crat/internal/core"
 	"crat/internal/emu/ptxgen"
 	"crat/internal/gpusim"
 	"crat/internal/oracle"
+	"crat/internal/passes"
 	"crat/internal/ptx"
 	"crat/internal/regalloc"
 	"crat/internal/sem"
@@ -276,6 +279,104 @@ func TestMetamorphicSplitInvariance(t *testing.T) {
 	}
 	if checked < 5 {
 		t.Fatalf("only %d/%d generated kernels spilled; property under-exercised", checked, seeds)
+	}
+}
+
+// TestMetamorphicBackends: every registered optimization backend is a
+// semantics-preserving transformation, so over generated kernels each
+// backend's chosen kernel — and the full union's winner — must agree
+// with the original program on the same generated inputs. Pruning keeps
+// the generated kernels' own design spaces tame, so the suite also
+// drives each backend directly through the Backend interface at forced
+// tight register budgets, where regdem actually demotes and crat
+// actually spills; every candidate those builds produce must be
+// oracle-clean too.
+func TestMetamorphicBackends(t *testing.T) {
+	const seeds = 24
+	block := 256
+	arch := gpusim.FermiConfig()
+	names := backend.Names()
+	opts := core.Options{
+		Arch:   arch,
+		OptTLP: 6,
+		Costs:  gpusim.Costs{Local: 40, Shared: 4},
+	}
+	demoted := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		k := ptxgen.Generate(ptxgen.Config{Seed: seed, Block: block, MaxOps: 96})
+		app := core.App{Name: k.Name, Kernel: k, Block: block, Grid: 2}
+		a, err := core.Analyze(app, arch)
+		if err != nil {
+			t.Fatalf("seed %d: analyze: %v", seed, err)
+		}
+		var variants []oracle.Variant
+		for _, name := range names {
+			o := opts
+			o.Backends = []string{name}
+			d, err := core.Optimize(app, o)
+			if err != nil {
+				t.Fatalf("seed %d: backend %s: %v", seed, name, err)
+			}
+			if d.Backend != name {
+				t.Fatalf("seed %d: backend %s attributed its win to %q", seed, name, d.Backend)
+			}
+			variants = append(variants, oracle.Variant{Stage: "backend-" + name, Kernel: d.Chosen.Kernel()})
+		}
+		o := opts
+		o.Backends = names
+		d, err := core.Optimize(app, o)
+		if err != nil {
+			t.Fatalf("seed %d: union: %v", seed, err)
+		}
+		variants = append(variants, oracle.Variant{Stage: "backend-union-" + d.Backend, Kernel: d.Chosen.Kernel()})
+
+		// Forced tight budgets (slack permitting): a little above the
+		// feasibility floor and halfway to the kernel's full demand.
+		if lo := a.MinReg + 6; lo < a.MaxReg {
+			req := backend.Request{
+				AppName:   app.Name,
+				Kernel:    k,
+				Arch:      arch,
+				BlockSize: block,
+				ShmSize:   a.ShmSize,
+				OptTLP:    4,
+				Points:    []backend.Point{{Reg: lo, TLP: 4}, {Reg: (lo + a.MaxReg) / 2, TLP: 4}},
+			}
+			for _, name := range names {
+				bk, ok := backend.Lookup(name)
+				if !ok {
+					t.Fatalf("backend %s not registered", name)
+				}
+				pm := &passes.Manager{VerifyEach: true}
+				cands, err := bk.Candidates(pm, req)
+				if err != nil {
+					t.Fatalf("seed %d: %s at tight budgets: %v", seed, name, err)
+				}
+				sawDemotion := false
+				for _, c := range cands {
+					variants = append(variants, oracle.Variant{
+						Stage:  fmt.Sprintf("tight-%s-reg%d", name, c.Reg),
+						Kernel: c.Kernel(),
+					})
+					if c.Demoted > 0 {
+						sawDemotion = true
+					}
+				}
+				if name == "regdem" && sawDemotion {
+					demoted++
+				}
+			}
+		}
+		dv, err := oracle.CheckVariants(k, variants, oracle.Options{Grid: 2, Block: block, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: oracle error: %v", seed, err)
+		}
+		if dv != nil {
+			t.Fatalf("seed %d: backend output diverges: %v", seed, dv)
+		}
+	}
+	if demoted < 5 {
+		t.Fatalf("regdem demoted registers on only %d/%d seeds; property under-exercised", demoted, seeds)
 	}
 }
 

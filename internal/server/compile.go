@@ -7,6 +7,7 @@ import (
 
 	"context"
 
+	"crat/internal/backend"
 	"crat/internal/checkpoint"
 	"crat/internal/core"
 	"crat/internal/gpusim"
@@ -17,7 +18,7 @@ import (
 // Bump it whenever the pipeline's output for identical inputs can change
 // (new pass ordering, different TPSC model, ...): a restarted daemon then
 // discards the stale warm tier instead of replaying wrong Decisions.
-const cacheSchema = "cratd/v1"
+const cacheSchema = "cratd/v2"
 
 // maxPTXBytes bounds a request's PTX payload; beyond this the request is
 // rejected up front rather than admitted and parsed.
@@ -46,6 +47,11 @@ type CompileRequest struct {
 	NoSharedSpill bool `json:"no_shared_spill,omitempty"`
 	// Coalesce enables the copy-coalescing pre-pass.
 	Coalesce bool `json:"coalesce,omitempty"`
+	// Backends selects the optimization backends whose candidates compete
+	// under the TPSC selection. Order matters (full TPSC ties break toward
+	// the earlier-listed backend), so it is never sorted. Empty uses the
+	// daemon's configured default (itself empty = mode-implied CRAT).
+	Backends []string `json:"backends,omitempty"`
 	// Verify overrides the daemon's default for differential oracle
 	// verification of the chosen kernel (nil = daemon default). On a
 	// divergence the response is still 200, with Degraded set and the
@@ -70,6 +76,9 @@ type CompileResponse struct {
 	TLP         int    `json:"tlp"`
 	Candidates  int    `json:"candidates"`
 	ProfileRuns int    `json:"profile_runs"`
+	// Backend names the optimization backend whose candidate won the TPSC
+	// selection ("baseline" when Degraded).
+	Backend string `json:"backend,omitempty"`
 	// Degraded is the graceful-degradation signal: the oracle caught a
 	// divergence in the optimized kernel and PTX holds the verified
 	// MaxReg baseline instead. Never a 500.
@@ -90,6 +99,7 @@ type compileJob struct {
 	req      CompileRequest
 	arch     gpusim.Config
 	verify   bool
+	backends []string
 	deadline time.Duration
 	key      string
 	seq      int64
@@ -124,6 +134,13 @@ func (s *Server) normalize(req CompileRequest) (*compileJob, error) {
 	if req.Verify != nil {
 		verify = *req.Verify
 	}
+	backends := req.Backends
+	if len(backends) == 0 {
+		backends = s.cfg.DefaultBackends
+	}
+	if _, err := backend.Resolve(backends); err != nil {
+		return nil, err
+	}
 	deadline := s.cfg.DefaultDeadline
 	if req.TimeoutMs > 0 {
 		deadline = time.Duration(req.TimeoutMs) * time.Millisecond
@@ -141,15 +158,16 @@ func (s *Server) normalize(req CompileRequest) (*compileJob, error) {
 		OptTLP     int
 		NoShared   bool
 		Coalesce   bool
+		Backends   []string
 		Verify     bool
 		VerifyRuns int
 		VerifySeed int64
 	}{cacheSchema, req.PTX, req.Kernel, req.Arch, req.Block, req.Grid,
-		req.OptTLP, req.NoSharedSpill, req.Coalesce, verify, req.VerifyRuns, req.VerifySeed})
+		req.OptTLP, req.NoSharedSpill, req.Coalesce, backends, verify, req.VerifyRuns, req.VerifySeed})
 	if err != nil {
 		return nil, fmt.Errorf("hashing request: %w", err)
 	}
-	return &compileJob{req: req, arch: arch, verify: verify, deadline: deadline, key: key}, nil
+	return &compileJob{req: req, arch: arch, verify: verify, backends: backends, deadline: deadline, key: key}, nil
 }
 
 // compileOnce runs the full CRAT pipeline for one job. It is the only
@@ -204,6 +222,7 @@ func (s *Server) compileOnce(ctx context.Context, job *compileJob) (*cacheEntry,
 		OptTLP:            opt,
 		SpillShared:       !job.req.NoSharedSpill,
 		Coalesce:          job.req.Coalesce,
+		Backends:          job.backends,
 		Costs:             costs,
 		VerifyEquivalence: job.verify,
 		VerifyRuns:        job.req.VerifyRuns,
@@ -227,6 +246,7 @@ func (s *Server) compileOnce(ctx context.Context, job *compileJob) (*cacheEntry,
 		TLP:         d.Chosen.TLP,
 		Candidates:  len(d.Candidates),
 		ProfileRuns: d.ProfileRuns,
+		Backend:     d.Backend,
 		Degraded:    d.Degraded,
 		PTX:         ptx.PrintModule(module),
 	}

@@ -11,12 +11,13 @@ import (
 // Changing routeSchema reshuffles which replica owns which key (a cold
 // restart of the fleet's cache affinity), nothing more — correctness
 // never depends on placement.
-const routeSchema = "cratgw-route/v1"
+const routeSchema = "cratgw-route/v2"
 
 // RouteKey returns the stable content-address the cratgw gateway hashes
 // onto its replica ring. It covers the request's semantic fields exactly
-// as the client sent them (Verify stays tri-state: the gateway must not
-// guess the daemons' verify default), so the same compile from any
+// as the client sent them (Verify stays tri-state and Backends stays
+// unresolved: the gateway must not guess the daemons' defaults), so the
+// same compile from any
 // client always lands on the same replica and hits that replica's warm
 // memory/journal tiers. It deliberately does NOT resolve server-side
 // defaults the way normalize does — placement only needs determinism
@@ -39,11 +40,12 @@ func RouteKey(req CompileRequest) (string, error) {
 		OptTLP     int
 		NoShared   bool
 		Coalesce   bool
+		Backends   []string
 		Verify     int
 		VerifyRuns int
 		VerifySeed int64
 	}{routeSchema, req.PTX, req.Kernel, req.Arch, req.Block, req.Grid,
-		req.OptTLP, req.NoSharedSpill, req.Coalesce, verify, req.VerifyRuns, req.VerifySeed})
+		req.OptTLP, req.NoSharedSpill, req.Coalesce, req.Backends, verify, req.VerifyRuns, req.VerifySeed})
 	if err != nil {
 		return "", fmt.Errorf("hashing route key: %w", err)
 	}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crat/internal/backend"
 	"crat/internal/buildinfo"
 	"crat/internal/checkpoint"
 	"crat/internal/faultinject"
@@ -62,6 +63,11 @@ type Config struct {
 	// VerifyDefault runs the differential oracle on every compile unless
 	// the request overrides it.
 	VerifyDefault bool
+	// DefaultBackends selects the optimization backends for requests that
+	// don't name their own (cratd -backends). Order matters: full TPSC
+	// ties break toward the earlier-listed backend. Empty preserves the
+	// mode-implied CRAT strategy.
+	DefaultBackends []string
 	// FS, when set, routes the persistent tier's filesystem operations
 	// through it — the deterministic fault-injection seam (cratd -fault).
 	// Nil = the real filesystem.
@@ -137,6 +143,10 @@ type StatsSnapshot struct {
 	CacheEntries     int     `json:"cache_entries"`
 	CacheLoaded      int     `json:"cache_loaded"`
 	CacheDir         string  `json:"cache_dir,omitempty"`
+	// BackendWins counts, per optimization backend, the 200s served whose
+	// Decision that backend won — across every cache tier, so a replay
+	// from the journal still attributes its serve.
+	BackendWins map[string]int64 `json:"backend_wins,omitempty"`
 	// CacheDegraded names why the persistent tier is disabled (the daemon
 	// chose a cold cache over refusing to start); empty when healthy.
 	CacheDegraded string `json:"cache_degraded,omitempty"`
@@ -165,6 +175,9 @@ type Server struct {
 	costsMu sync.Mutex
 	costs   map[string]gpusim.Costs
 
+	backendMu   sync.Mutex
+	backendWins map[string]int64 // 200s served per winning backend
+
 	mu   sync.Mutex
 	http *http.Server
 }
@@ -181,12 +194,16 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.Defaults()
 	s := &Server{
-		cfg:     cfg,
-		queue:   make(chan struct{}, cfg.QueueCapacity),
-		workers: make(chan struct{}, cfg.Workers),
-		mem:     newCells(),
-		costs:   make(map[string]gpusim.Costs),
-		start:   time.Now(),
+		cfg:         cfg,
+		queue:       make(chan struct{}, cfg.QueueCapacity),
+		workers:     make(chan struct{}, cfg.Workers),
+		mem:         newCells(),
+		costs:       make(map[string]gpusim.Costs),
+		backendWins: make(map[string]int64),
+		start:       time.Now(),
+	}
+	if _, err := backend.Resolve(cfg.DefaultBackends); err != nil {
+		return nil, fmt.Errorf("default backends: %w", err)
 	}
 	if cfg.CacheDir != "" {
 		key, err := checkpoint.Hash(struct{ Schema string }{cacheSchema})
@@ -231,6 +248,21 @@ func (s *Server) logf(format string, args ...any) {
 
 // Stats exposes the counters (tests and embedders).
 func (s *Server) Stats() *Stats { return &s.stats }
+
+// backendWinsSnapshot copies the per-backend serve counters (nil when no
+// compile has been served yet, so /statsz omits the field).
+func (s *Server) backendWinsSnapshot() map[string]int64 {
+	s.backendMu.Lock()
+	defer s.backendMu.Unlock()
+	if len(s.backendWins) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.backendWins))
+	for k, v := range s.backendWins {
+		out[k] = v
+	}
+	return out
+}
 
 // Handler returns the daemon's HTTP mux.
 func (s *Server) Handler() http.Handler {
@@ -341,6 +373,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Computes:         s.stats.Computes.Load(),
 		CachePutErrors:   s.stats.CachePutErrors.Load(),
 		MemoryEntries:    s.mem.len(),
+		BackendWins:      s.backendWinsSnapshot(),
 		CacheDegraded:    s.degraded,
 	}
 	if s.store != nil {
@@ -416,6 +449,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	resp.CacheTier = tier
 	resp.ElapsedMs = float64(elapsed) / float64(time.Millisecond)
 	s.stats.Completed.Add(1)
+	if resp.Backend != "" {
+		s.backendMu.Lock()
+		s.backendWins[resp.Backend]++
+		s.backendMu.Unlock()
+	}
 	if resp.Degraded {
 		s.stats.Degraded.Add(1)
 		s.logf("compile seq=%d kernel=%s DEGRADED: %s", job.seq, resp.Kernel, resp.Divergence)
